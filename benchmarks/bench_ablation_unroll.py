@@ -1,0 +1,52 @@
+"""Ablation - unrolling factor and IV splitting vs exposed ILP.
+
+Superblock unrolling is what gives the H kernels their width (and the
+SMT/CSMT gap its size); induction-variable splitting is what keeps the
+unrolled copies independent.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG
+from repro.compiler import CompilerOptions, compile_kernel
+from repro.kernels import by_name, compile_spec
+from repro.sim import run_workload
+from tests.conftest import build_saxpy
+
+
+def test_unroll_scales_static_ilp(machine):
+    ipcs = {}
+    for u in (1, 2, 4, 8):
+        prog = compile_kernel(build_saxpy(), machine,
+                              unroll_hints={"loop": u})
+        ipcs[u] = prog.static_ipc()
+    print("\nstatic IPC by unroll:",
+          {u: round(v, 2) for u, v in ipcs.items()})
+    assert ipcs[8] > ipcs[4] > ipcs[2] > ipcs[1]
+
+
+def test_iv_split_required_for_width(machine):
+    with_split = compile_kernel(build_saxpy(), machine,
+                                CompilerOptions(iv_split=True),
+                                unroll_hints={"loop": 8})
+    without = compile_kernel(build_saxpy(), machine,
+                             CompilerOptions(iv_split=False),
+                             unroll_hints={"loop": 8})
+    assert with_split.static_ipc() >= without.static_ipc()
+
+
+def test_unroll_scale_moves_colorspace(machine):
+    half = compile_spec(by_name("colorspace"), machine,
+                        CompilerOptions(unroll_scale=0.5))
+    full = compile_spec(by_name("colorspace"), machine)
+    assert full.static_ipc() > half.static_ipc()
+
+
+@pytest.mark.parametrize("unroll", [1, 4, 8])
+def test_bench_unroll_compile_and_run(benchmark, machine, unroll):
+    def body():
+        prog = compile_kernel(build_saxpy(), machine,
+                              unroll_hints={"loop": unroll})
+        return run_workload([prog], "ST", BENCH_CONFIG).ipc
+
+    assert benchmark(body) > 0

@@ -1,0 +1,51 @@
+"""Figure 10 - per-workload IPC of every merging scheme.
+
+The heaviest artifact: 12 distinct scheme semantics x 9 workloads.  The
+printed regeneration runs once at print scale; the timed body simulates
+one scheme on one workload.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG, PRINT_CONFIG, show
+from repro.eval import run_fig10
+from repro.sim import run_workload
+from repro.workloads import workload_programs
+
+
+@pytest.fixture(scope="module")
+def fig10(machine):
+    return run_fig10(PRINT_CONFIG, machine)
+
+
+def test_fig10_regenerate(fig10):
+    show(fig10)
+    avgs = {}
+    for row in fig10.rows:
+        for name in row[0].split(","):
+            avgs[name] = row[-1]
+    # extremes of the figure (3% tolerance at the reduced print scale)
+    assert avgs["3SSS"] >= 0.97 * max(avgs.values())
+    assert avgs["1S"] <= 1.03 * min(avgs.values())
+    # the headline hybrid sits between CSMT and SMT
+    assert avgs["3CCC"] < avgs["2SC3"] < avgs["3SSS"]
+
+
+def test_fig10_paper_deltas(fig10):
+    """The abstract's 2SC3 comparisons, as ratios (paper: +14% over
+    4-thread CSMT, +45% over 1S, -11% vs 4-thread SMT)."""
+    avgs = {}
+    for row in fig10.rows:
+        for name in row[0].split(","):
+            avgs[name] = row[-1]
+    assert avgs["2SC3"] / avgs["3CCC"] > 1.05
+    assert avgs["2SC3"] / avgs["1S"] > 1.25
+    assert 0.80 < avgs["2SC3"] / avgs["3SSS"] < 1.0
+
+
+@pytest.mark.parametrize("scheme", ["1S", "3CCC", "2CS", "2SC3", "3SSC",
+                                    "3SSS"])
+def test_bench_scheme_on_mixed_workload(benchmark, machine, scheme):
+    programs = workload_programs("LLMH", machine)
+    ipc = benchmark(lambda: run_workload(programs, scheme, BENCH_CONFIG).ipc)
+    assert ipc > 0

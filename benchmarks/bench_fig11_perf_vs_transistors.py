@@ -1,0 +1,29 @@
+"""Figure 11 - average IPC versus merge-control transistors."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG, PRINT_CONFIG, show
+from repro.eval import run_fig10, run_fig11
+
+
+@pytest.fixture(scope="module")
+def fig11(machine):
+    fig10 = run_fig10(PRINT_CONFIG, machine)
+    return run_fig11(PRINT_CONFIG, machine, fig10=fig10)
+
+
+def test_fig11_regenerate(fig11):
+    show(fig11)
+    rows = fig11.row_map()
+    # the paper's pareto story: 2SC3 ~ 1S cost with much higher IPC...
+    assert rows["2SC3"][2] <= 1.25 * rows["1S"][2]
+    assert rows["2SC3"][1] > 1.2 * rows["1S"][1]
+    # ... while 3SSS pays ~3x the transistors for the last ~10%
+    assert rows["3SSS"][2] > 2.5 * rows["2SC3"][2]
+
+
+def test_bench_scatter_build(benchmark, machine):
+    fig10 = run_fig10(BENCH_CONFIG, machine,
+                      schemes=["1S", "C4", "2SC3", "3SSS"])
+    result = benchmark(lambda: run_fig11(BENCH_CONFIG, machine, fig10=fig10))
+    assert len(result.rows) >= 4

@@ -1,0 +1,30 @@
+"""Figure 12 - average IPC versus merge-control gate delays."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG, PRINT_CONFIG, show
+from repro.eval import run_fig10, run_fig12
+
+
+@pytest.fixture(scope="module")
+def fig12(machine):
+    fig10 = run_fig10(PRINT_CONFIG, machine)
+    return run_fig12(PRINT_CONFIG, machine, fig10=fig10)
+
+
+def test_fig12_regenerate(fig12):
+    show(fig12)
+    rows = fig12.row_map()
+    # 2SC3/3SCC keep 1S-class delay; 3SSS pays the deepest pipeline
+    assert abs(rows["2SC3"][2] - rows["1S"][2]) <= 2
+    assert rows["3SSS"][2] == max(r[2] for r in fig12.rows)
+    # 3SSC is the fastest of the double-SMT designs (Section 5.2)
+    assert rows["3SSC"][2] < rows["3SCS"][2]
+    assert rows["3SSC"][2] < rows["3CSS"][2]
+
+
+def test_bench_scatter_build(benchmark, machine):
+    fig10 = run_fig10(BENCH_CONFIG, machine,
+                      schemes=["1S", "C4", "3SSC", "3SSS"])
+    result = benchmark(lambda: run_fig12(BENCH_CONFIG, machine, fig10=fig10))
+    assert len(result.rows) >= 4

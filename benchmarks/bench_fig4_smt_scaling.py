@@ -1,0 +1,28 @@
+"""Figure 4 - average SMT IPC on 1-, 2- and 4-thread processors."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG, PRINT_CONFIG, show
+from repro.eval import run_fig4
+from repro.sim import run_workload
+from repro.workloads import workload_programs
+
+
+def test_fig4_regenerate(machine):
+    result = run_fig4(PRINT_CONFIG, machine)
+    show(result)
+    avg = result.rows[-1]
+    assert avg[0] == "Average"
+    single, two, four = avg[1], avg[2], avg[3]
+    assert single < two < four
+    # the paper's 61% gain; shape check: clearly substantial
+    assert result.meta["gain_4t_over_2t"] > 0.2
+
+
+@pytest.mark.parametrize("scheme,label", [("ST", "1thread"),
+                                          ("1S", "2thread"),
+                                          ("3SSS", "4thread")])
+def test_bench_thread_scaling(benchmark, machine, scheme, label):
+    programs = workload_programs("LLMH", machine)
+    ipc = benchmark(lambda: run_workload(programs, scheme, BENCH_CONFIG).ipc)
+    assert ipc > 0

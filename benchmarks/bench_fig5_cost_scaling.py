@@ -1,0 +1,32 @@
+"""Figure 5 - merge-control transistors (5a) and gate delays (5b) versus
+thread count for SMT, serial CSMT and parallel CSMT."""
+
+import pytest
+
+from benchmarks.conftest import show
+from repro.cost import csmt_parallel, csmt_serial, smt_serial
+from repro.eval import run_fig5
+
+
+def test_fig5_regenerate(machine):
+    result = run_fig5(machine)
+    show(result)
+    rows = {r[0]: r for r in result.rows}
+    # 5a: CSMT PL crosses SMT between 5 and 8 threads
+    assert rows[4][2] < rows[4][3]
+    assert rows[8][2] > rows[8][3]
+    # 5b: CSMT delays below SMT at every point
+    for n in range(2, 9):
+        assert rows[n][4] < rows[n][6]
+        assert rows[n][5] < rows[n][6]
+
+
+@pytest.mark.parametrize("fn,label", [(csmt_serial, "csmt_sl"),
+                                      (csmt_parallel, "csmt_pl"),
+                                      (smt_serial, "smt")])
+def test_bench_cost_curves(benchmark, fn, label):
+    def sweep():
+        return [fn(n).transistors for n in range(2, 9)]
+
+    out = benchmark(sweep)
+    assert all(t > 0 for t in out)

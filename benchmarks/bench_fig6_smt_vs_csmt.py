@@ -1,0 +1,30 @@
+"""Figure 6 - per-workload SMT advantage over CSMT (4 threads)."""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG, PRINT_CONFIG, show
+from repro.eval import run_fig6
+from repro.sim import run_workload
+from repro.workloads import WORKLOAD_ORDER, workload_programs
+
+
+def test_fig6_regenerate(machine):
+    result = run_fig6(PRINT_CONFIG, machine)
+    show(result)
+    # SMT wins on every workload; the average gap is sizeable
+    for row in result.rows[:-1]:
+        assert row[3] > 0, row[0]
+    assert result.meta["avg_diff_pct"] > 10
+
+
+@pytest.mark.parametrize("wl", WORKLOAD_ORDER)
+def test_bench_smt_csmt_pair(benchmark, machine, wl):
+    programs = workload_programs(wl, machine)
+
+    def pair():
+        smt = run_workload(programs, "3SSS", BENCH_CONFIG).ipc
+        csmt = run_workload(programs, "3CCC", BENCH_CONFIG).ipc
+        return smt, csmt
+
+    smt, csmt = benchmark(pair)
+    assert smt > 0 and csmt > 0

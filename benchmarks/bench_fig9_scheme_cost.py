@@ -1,0 +1,36 @@
+"""Figure 9 - merging-hardware transistors and gate delays per scheme."""
+
+import pytest
+
+from benchmarks.conftest import show
+from repro.cost import scheme_cost
+from repro.eval import run_fig9
+from repro.merge import PAPER_SCHEMES, get_scheme
+
+
+def test_fig9_regenerate(machine):
+    result = run_fig9(machine)
+    show(result)
+    rows = result.row_map()
+    # Section 4.2 claims, verbatim
+    assert rows["2SC3"][1] <= 1.25 * rows["1S"][1]
+    assert abs(rows["2SC3"][2] - rows["1S"][2]) <= 2
+    assert rows["3SSS"][1] == max(r[1] for r in result.rows)
+    for pure in ("C4", "3CCC", "2CC"):
+        assert rows[pure][1] < rows["1S"][1] / 3
+
+
+def test_bench_all_scheme_costs(benchmark):
+    def all_costs():
+        return [scheme_cost(get_scheme(n)).transistors
+                for n in PAPER_SCHEMES]
+
+    out = benchmark(all_costs)
+    assert len(out) == 15
+
+
+@pytest.mark.parametrize("name", ["1S", "2SC3", "3SSS", "C4"])
+def test_bench_single_scheme_cost(benchmark, name):
+    scheme = get_scheme(name)
+    cost = benchmark(lambda: scheme_cost(scheme))
+    assert cost.transistors > 0

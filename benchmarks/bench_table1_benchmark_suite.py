@@ -1,0 +1,31 @@
+"""Table 1 - benchmark characterization (IPCr / IPCp per kernel).
+
+Regenerates the per-benchmark IPC columns and times a representative
+single-thread simulation.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_CONFIG, PRINT_CONFIG, show
+from repro.eval import run_table1
+from repro.kernels import SUITE, compile_spec
+from repro.sim import run_workload
+
+
+def test_table1_regenerate(machine):
+    result = run_table1(PRINT_CONFIG, machine)
+    show(result)
+    rows = result.row_map()
+    # class bands hold at benchmark scale too
+    for spec in SUITE:
+        _n, cls, _ipcr, ipcp, _pr, _pp = rows[spec.name]
+        if cls == "H":
+            assert ipcp >= 3.0
+
+
+@pytest.mark.parametrize("name", [s.name for s in SUITE])
+def test_bench_single_thread(benchmark, machine, name):
+    spec = next(s for s in SUITE if s.name == name)
+    prog = compile_spec(spec, machine)
+    result = benchmark(lambda: run_workload([prog], "ST", BENCH_CONFIG).ipc)
+    assert result > 0

@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate paper artifacts at reduced scale (Python-friendly
+run lengths; see DESIGN.md on scaling) and print the same rows/series the
+paper reports.  Timing bodies are kept small; full-scale regeneration is
+``python -m repro.eval.cli`` territory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import paper_machine
+from repro.eval.result import ExperimentResult
+from repro.sim import SimConfig
+
+#: scale used inside timed bodies (fast, stable).
+BENCH_CONFIG = SimConfig(instr_limit=1_200, timeslice=600, warmup_instrs=300)
+
+#: scale used for the printed artifact (one-shot per module).
+PRINT_CONFIG = SimConfig(instr_limit=3_000, timeslice=1_000,
+                         warmup_instrs=800)
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return paper_machine()
+
+
+def show(result: ExperimentResult) -> None:
+    """Print a regenerated artifact (visible with pytest -s; always in
+    the captured section on failure)."""
+    print()
+    print(result.render())

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Design-space exploration: performance vs hardware cost for every
+merging scheme (Figures 9/11/12 in one table).
+
+For each of the paper's 15 4-thread schemes (plus the 1S baseline) this
+prints average IPC over a workload sample, merge-control transistors and
+gate delays, then points out the pareto frontier - reproducing the
+paper's conclusion that 2SC3 is the sweet spot and 3SSC the best
+higher-cost alternative.
+
+Run:  python examples/design_space.py [--full]
+        --full uses all nine Table 2 workloads (slower).
+"""
+
+import sys
+
+from repro.arch import paper_machine
+from repro.eval.pareto import design_points, pareto_frontier, recommend
+from repro.merge import PAPER_SCHEMES, canonical, distinct_semantics
+from repro.sim import SimConfig, run_workload
+from repro.workloads import WORKLOAD_ORDER, workload_programs
+
+
+def main() -> None:
+    full = "--full" in sys.argv
+    machine = paper_machine()
+    workloads = WORKLOAD_ORDER if full else ("LLLL", "LLHH", "MMHH")
+    config = SimConfig(instr_limit=8_000, timeslice=2_000,
+                       warmup_instrs=1_500)
+
+    print(f"workload sample: {', '.join(workloads)}")
+    groups = distinct_semantics(["1S"] + PAPER_SCHEMES)
+    ipc: dict[str, float] = {}
+    for wl in workloads:
+        programs = workload_programs(wl, machine)
+        for canon in groups:
+            ipc[canon] = ipc.get(canon, 0.0) + \
+                run_workload(programs, canon, config).ipc
+    for canon in ipc:
+        ipc[canon] /= len(workloads)
+
+    points = design_points(ipc, machine.n_clusters)
+    frontier = {p.scheme for p in pareto_frontier(points)}
+
+    print(f"\n{'scheme':6s} {'avg IPC':>8s} {'transistors':>12s} "
+          f"{'delays':>7s}  pareto")
+    for p in sorted(points, key=lambda p: p.ipc):
+        star = "  *" if p.scheme in frontier else ""
+        print(f"{p.scheme:6s} {p.ipc:8.2f} {p.transistors:12d} "
+              f"{p.gate_delays:7d}{star}")
+    print("\n* = pareto-optimal over (IPC, transistors, gate delays)")
+
+    by = {p.scheme: p for p in points}
+    budget = round(by["1S"].transistors * 1.1)
+    pick = recommend(points, max_transistors=budget)
+    print(f"\nrecommendation within a 2-thread-SMT budget "
+          f"({budget} transistors): {pick.scheme} (IPC {pick.ipc:.2f})")
+
+    hybrid = ipc[canonical("2SC3")]
+    print(f"\n2SC3 vs 3CCC: {hybrid / ipc['3CCC'] - 1:+.0%}   "
+          f"2SC3 vs 1S: {hybrid / ipc['1S'] - 1:+.0%}   "
+          f"2SC3 vs 3SSS: {hybrid / ipc['3SSS'] - 1:+.0%}")
+    print("(paper: +14%, +45%, -11%)")
+
+
+if __name__ == "__main__":
+    main()

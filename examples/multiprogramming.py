@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Multiprogramming study: how thread mixes exploit the merge hardware.
+
+Sweeps every ILP-class combination (LLLL ... HHHH, beyond the paper's
+nine) on the 2SC3 processor and reports where thread-level parallelism
+actually recovers issue waste:
+
+* low-ILP mixes leave clusters idle -> big co-issue opportunity;
+* high-ILP mixes fill the machine single-handedly -> merging rarely
+  fires, but stall cycles (cache misses) still get covered.
+
+Also shows the OS view: timeslice rotation with 4 software threads on a
+2-context (1S) processor versus a 4-context (2SC3) one.
+
+Run:  python examples/multiprogramming.py
+"""
+
+from repro.arch import paper_machine
+from repro.sim import SimConfig, run_workload
+from repro.workloads import all_class_combos, make_workload
+
+
+def main() -> None:
+    machine = paper_machine()
+    config = SimConfig(instr_limit=6_000, timeslice=1_500,
+                       warmup_instrs=1_200)
+
+    print("class mix -> IPC and co-issue rate under 2SC3")
+    print(f"{'mix':6s} {'IPC':>6s} {'thr/cyc':>8s} {'vwaste':>7s}")
+    for combo in all_class_combos(4):
+        programs = make_workload(combo, machine, seed=1)
+        s = run_workload(programs, "2SC3", config).stats
+        print(f"{combo:6s} {s.ipc:6.2f} {s.avg_threads_per_cycle():8.2f} "
+              f"{s.vertical_waste / s.cycles:7.1%}")
+
+    print("\nOS view: 4 software threads, LLMH mix")
+    programs = make_workload("LLMH", machine, seed=2)
+    for scheme, label in (("ST", "1 context "), ("1S", "2 contexts"),
+                          ("2SC3", "4 contexts")):
+        res = run_workload(programs, scheme, config)
+        s = res.stats
+        shares = [t.issued_instrs for t in res.threads]
+        lo, hi = min(shares), max(shares)
+        print(f"  {label} ({scheme:4s}): IPC {s.ipc:5.2f}, "
+              f"{s.context_switches:3d} context switches, "
+              f"progress spread {hi / max(1, lo):.2f}x")
+
+    print("\nTakeaway: the merging hardware converts TLP into ILP most "
+          "aggressively\nexactly where single threads waste issue slots "
+          "(L/M mixes).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Quickstart: run a Table 2 workload under the paper's headline scheme.
+
+Builds the paper's 16-issue clustered VLIW, compiles the LLHH workload
+(mcf + blowfish + x264 + idct), and compares the 2SC3 hybrid against the
+CSMT and SMT extremes - the experiment behind the paper's abstract.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.arch import paper_machine
+from repro.cost import scheme_cost
+from repro.merge import get_scheme
+from repro.sim import SimConfig, run_workload
+from repro.workloads import workload_programs
+
+
+def main() -> None:
+    machine = paper_machine()
+    print(f"machine: {machine.describe()}")
+
+    programs = workload_programs("LLHH", machine)
+    print("workload LLHH:", ", ".join(p.name for p in programs))
+    for p in programs:
+        print(f"  {p.name:10s} static IPC {p.static_ipc():.2f}  "
+              f"(unroll {p.meta['unroll'] or '-'}, "
+              f"{p.meta['xcopies']} inter-cluster copies)")
+
+    config = SimConfig(instr_limit=20_000, timeslice=4_000,
+                       warmup_instrs=2_000)
+    print(f"\nsimulating {config.instr_limit} instructions/thread "
+          f"(paper: 100M; see DESIGN.md on scaling)\n")
+
+    print(f"{'scheme':6s} {'IPC':>6s} {'thr/cyc':>8s} {'transistors':>12s} "
+          f"{'gate delays':>12s}")
+    for name in ("1S", "3CCC", "2SC3", "3SSS"):
+        result = run_workload(programs, name, config)
+        cost = scheme_cost(get_scheme(name), machine.n_clusters)
+        s = result.stats
+        print(f"{name:6s} {s.ipc:6.2f} {s.avg_threads_per_cycle():8.2f} "
+              f"{cost.transistors:12d} {cost.gate_delays:12d}")
+
+    print("\n2SC3: ~2-thread-SMT hardware cost, close to 4-thread-SMT "
+          "performance - the paper's conclusion.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""repro - reproduction of "Thread Merging Schemes for Multithreaded
+Clustered VLIW Processors" (M. Gupta, F. Sanchez, J. Llosa; ICPP 2009).
+
+The package rebuilds the paper's whole stack in Python:
+
+* :mod:`repro.arch` / :mod:`repro.isa` - the VEX-like clustered VLIW
+  machine and its long-instruction format;
+* :mod:`repro.ir` / :mod:`repro.compiler` - a trace-scheduling compiler
+  (unrolling, BUG cluster assignment, list scheduling, register
+  allocation) producing genuinely clustered schedules;
+* :mod:`repro.kernels` - the 12 Table-1 benchmarks re-authored as IR
+  kernels with calibrated memory/branch behaviour;
+* :mod:`repro.trace` / :mod:`repro.sim` - deterministic trace generation
+  and a cycle-level multithreaded core with shared caches and an OS
+  timeslice scheduler;
+* :mod:`repro.merge` - the paper's contribution: SMT/CSMT merge blocks
+  composed into the 16 merging schemes (``3SSS``, ``2SC3``, ``C4``, ...);
+* :mod:`repro.cost` - the reconstructed gate-level merge-control cost
+  model (Figures 5 and 9);
+* :mod:`repro.eval` - runners regenerating every table and figure.
+
+Quickstart::
+
+    from repro.arch import paper_machine
+    from repro.sim import SimConfig, run_workload
+    from repro.workloads import workload_programs
+
+    programs = workload_programs("LLHH", paper_machine())
+    result = run_workload(programs, "2SC3", SimConfig())
+    print(result.ipc)
+"""
+
+from repro.arch import paper_machine
+from repro.compiler import CompilerOptions, compile_kernel
+from repro.ir import KernelBuilder
+from repro.kernels import SUITE, compile_spec
+from repro.merge import PAPER_SCHEMES, get_scheme, parse_scheme
+from repro.sim import SimConfig, run_workload
+from repro.workloads import TABLE2, workload_programs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilerOptions",
+    "KernelBuilder",
+    "PAPER_SCHEMES",
+    "SUITE",
+    "SimConfig",
+    "TABLE2",
+    "compile_kernel",
+    "compile_spec",
+    "get_scheme",
+    "paper_machine",
+    "parse_scheme",
+    "run_workload",
+    "workload_programs",
+    "__version__",
+]

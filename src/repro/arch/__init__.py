@@ -1,0 +1,6 @@
+"""Clustered VLIW machine descriptions."""
+
+from repro.arch.machine import ClusterSpec, Machine
+from repro.arch.presets import paper_machine, small_machine, wide_machine
+
+__all__ = ["ClusterSpec", "Machine", "paper_machine", "small_machine", "wide_machine"]

@@ -1,0 +1,140 @@
+"""Machine description for clustered VLIW processors.
+
+The model follows the paper's base architecture (Section 5.1): a VEX-like
+machine with ``n_clusters`` clusters, each with its own register file and
+``issue_width`` issue slots.  Per cluster there is 1 load/store unit, 2
+multipliers and as many ALUs as issue slots.  Certain operation classes can
+only execute in *fixed* issue slots (paper, footnote 1): memory operations
+in the memory slot, branches in the branch slot, multiplies in the multiply
+slots; ALU operations may use any slot.
+
+The slot layout is derived from the per-cluster resource counts:
+
+* slots ``[0, n_mem)``                      - memory-capable
+* slots ``[n_mem, n_mem + n_br)``           - branch-capable
+* slots ``[issue_width - n_mul, issue_width)`` - multiply-capable
+* every slot                                 - ALU-capable
+
+For the paper's 4-issue cluster (1 mem, 1 br, 2 mul) this yields the
+classic layout ``mem@0, br@1, mul@2-3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.operation import OpClass
+
+__all__ = ["ClusterSpec", "Machine"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Per-cluster issue resources.
+
+    Attributes:
+        issue_width: number of issue slots (= number of ALUs).
+        n_mem: load/store units (memory-capable slots).
+        n_mul: multipliers (multiply-capable slots).
+        n_br: branch units (branch-capable slots).
+    """
+
+    issue_width: int = 4
+    n_mem: int = 1
+    n_mul: int = 2
+    n_br: int = 1
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ValueError("issue_width must be >= 1")
+        for name in ("n_mem", "n_mul", "n_br"):
+            v = getattr(self, name)
+            if not 0 <= v <= self.issue_width:
+                raise ValueError(f"{name}={v} must be in [0, issue_width]")
+        if self.n_mem + self.n_br > self.issue_width:
+            raise ValueError("mem and branch slots must not overlap")
+
+    @property
+    def caps(self) -> tuple[int, int, int, int]:
+        """Per-cluster resource caps ``(ops, mem, mul, br)``.
+
+        These are exactly the quantities the SMT merge control checks: a
+        combination of operations is routable onto the slots iff each count
+        is within its cap (each special class owns dedicated slots, so
+        Hall's matching condition reduces to the count check).
+        """
+        return (self.issue_width, self.n_mem, self.n_mul, self.n_br)
+
+    def slots_for(self, op_class: OpClass) -> tuple[int, ...]:
+        """Issue slots able to execute ``op_class`` (fixed-slot model)."""
+        if op_class is OpClass.ALU or op_class is OpClass.COPY:
+            return tuple(range(self.issue_width))
+        if op_class is OpClass.MEM:
+            return tuple(range(self.n_mem))
+        if op_class is OpClass.BR:
+            return tuple(range(self.n_mem, self.n_mem + self.n_br))
+        if op_class is OpClass.MUL:
+            return tuple(range(self.issue_width - self.n_mul, self.issue_width))
+        raise ValueError(f"unknown op class {op_class!r}")
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A clustered VLIW machine description.
+
+    Attributes:
+        n_clusters: number of clusters (register files).
+        cluster: per-cluster issue resources.
+        latency: operation-class -> result latency in cycles.
+        xfer_latency: latency of an inter-cluster register copy.
+        taken_branch_penalty: dead cycles after a taken branch (no branch
+            predictor; fall-through is the predicted path).
+        regs_per_cluster: architectural registers per cluster register file.
+        name: human-readable identifier.
+    """
+
+    n_clusters: int = 4
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    latency: dict[OpClass, int] = field(
+        default_factory=lambda: {
+            OpClass.ALU: 1,
+            OpClass.MUL: 2,
+            OpClass.MEM: 2,
+            OpClass.BR: 1,
+            OpClass.COPY: 1,
+        }
+    )
+    xfer_latency: int = 1
+    taken_branch_penalty: int = 2
+    regs_per_cluster: int = 64
+    name: str = "vex-4c4w"
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if self.taken_branch_penalty < 0:
+            raise ValueError("taken_branch_penalty must be >= 0")
+        missing = [c for c in OpClass if c not in self.latency]
+        if missing:
+            raise ValueError(f"latency table missing classes: {missing}")
+
+    @property
+    def total_issue_width(self) -> int:
+        """Machine-wide issue width (ops per cycle across all clusters)."""
+        return self.n_clusters * self.cluster.issue_width
+
+    @property
+    def caps(self) -> tuple[int, int, int, int]:
+        """Per-cluster ``(ops, mem, mul, br)`` caps (see ClusterSpec.caps)."""
+        return self.cluster.caps
+
+    def latency_of(self, op_class: OpClass) -> int:
+        """Result latency of an operation class, in cycles."""
+        return self.latency[op_class]
+
+    def describe(self) -> str:
+        """One-line summary, e.g. ``vex-4c4w: 4 clusters x 4-issue (16-wide)``."""
+        return (
+            f"{self.name}: {self.n_clusters} clusters x "
+            f"{self.cluster.issue_width}-issue ({self.total_issue_width}-wide)"
+        )

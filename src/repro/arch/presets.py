@@ -1,0 +1,40 @@
+"""Preset machine configurations.
+
+``paper_machine()`` is the configuration every experiment in the paper
+uses (Section 5.1): 16-issue, 4 clusters x 4-issue, 2 multipliers and one
+load/store unit per cluster, 2-cycle memory/multiply latency, 2-cycle
+taken-branch penalty.
+"""
+
+from __future__ import annotations
+
+from repro.arch.machine import ClusterSpec, Machine
+
+__all__ = ["paper_machine", "small_machine", "wide_machine"]
+
+
+def paper_machine() -> Machine:
+    """The paper's 4-cluster, 4-issue-per-cluster VEX-like machine."""
+    return Machine(
+        n_clusters=4,
+        cluster=ClusterSpec(issue_width=4, n_mem=1, n_mul=2, n_br=1),
+        name="vex-4c4w",
+    )
+
+
+def small_machine() -> Machine:
+    """A 2-cluster, 2-issue machine; used by tests and fast examples."""
+    return Machine(
+        n_clusters=2,
+        cluster=ClusterSpec(issue_width=2, n_mem=1, n_mul=1, n_br=1),
+        name="vex-2c2w",
+    )
+
+
+def wide_machine() -> Machine:
+    """An 8-cluster machine for scalability studies beyond the paper."""
+    return Machine(
+        n_clusters=8,
+        cluster=ClusterSpec(issue_width=4, n_mem=1, n_mul=2, n_br=1),
+        name="vex-8c4w",
+    )

@@ -1,0 +1,17 @@
+"""Trace-scheduling compiler for the clustered VLIW target."""
+
+from repro.compiler.options import CompilerOptions
+from repro.compiler.pipeline import compile_kernel
+from repro.compiler.program import BranchInfo, VLIWBlock, VLIWProgram
+from repro.compiler.regalloc import RegPressureError
+from repro.compiler.scheduler import ScheduleError
+
+__all__ = [
+    "BranchInfo",
+    "CompilerOptions",
+    "RegPressureError",
+    "ScheduleError",
+    "VLIWBlock",
+    "VLIWProgram",
+    "compile_kernel",
+]

@@ -1,0 +1,206 @@
+"""Cluster assignment and inter-cluster copy insertion.
+
+The paper's compiler uses Bottom-Up Greedy (BUG, from Ellis' Bulldog) to
+bind operations to clusters: operations are visited in dependence order,
+highest priority first, and each op picks the cluster minimizing its
+estimated completion time, accounting for inter-cluster transfer latency
+and cluster load.  Narrow (low-ILP) code therefore stays on few clusters
+while wide unrolled code spreads across all of them - exactly the
+cluster-usage behaviour the CSMT/SMT merging results depend on.
+
+Cross-cluster register values are materialized with explicit ``xcopy``
+operations under a *remote-write* model: the copy occupies an issue slot
+in the producer's cluster and deposits the value in the consumer
+cluster's register file after ``xfer_latency`` cycles.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, replace
+
+from repro.compiler.ddg import DDG
+from repro.ir.nodes import IROp, opcode
+
+__all__ = ["assign_clusters", "insert_copies", "CopyInsertion"]
+
+
+def assign_clusters(ops: list[IROp], ddg: DDG, machine, policy: str = "bug",
+                    reg_home: dict | None = None) -> list[int]:
+    """Return a cluster index per op.
+
+    ``reg_home`` gives preferred clusters for live-in registers (their
+    defining cluster elsewhere in the function); BUG treats a use of such
+    a register like a normal cross-cluster dependence.
+    """
+    n = len(ops)
+    m = machine.n_clusters
+    if policy == "single" or m == 1:
+        return [0] * n
+    if policy == "roundrobin":
+        return [i % m for i in range(n)]
+    if policy != "bug":
+        raise ValueError(f"unknown cluster policy {policy!r}")
+
+    lat = [machine.latency_of(op.opcode.op_class) for op in ops]
+    heights = ddg.heights(lambda i: lat[i])
+    width = machine.cluster.issue_width
+    xfer = machine.xfer_latency
+    reg_home = reg_home or {}
+
+    indeg = [len(p) for p in ddg.pred_edges]
+    heap: list[tuple] = []
+    for i in range(n):
+        if indeg[i] == 0:
+            heapq.heappush(heap, (-heights[i], i))
+
+    cluster_of = [-1] * n
+    finish = [0] * n
+    load = [0] * m
+    # first def position of each register, to co-locate later redefinitions
+    first_def_cluster: dict[str, int] = {}
+
+    while heap:
+        _, i = heapq.heappop(heap)
+        op = ops[i]
+        pinned = None
+        if op.dest is not None:
+            # redefinitions join the first definition's cluster (within the
+            # block or anywhere earlier in the function) so every virtual
+            # register lives in exactly one register file
+            pinned = first_def_cluster.get(op.dest)
+            if pinned is None:
+                pinned = reg_home.get(op.dest)
+        candidates = range(m) if pinned is None else (pinned,)
+        best_key = None
+        best_c = 0
+        for c in candidates:
+            start = 0
+            xfers = 0
+            for p, edge_lat in ddg.pred_edges[i]:
+                t = finish[p]
+                if (p, i) in ddg.raw_reg_edges and cluster_of[p] != c:
+                    t += xfer
+                    xfers += 1
+                if t > start:
+                    start = t
+            for s in op.reg_srcs():
+                home = reg_home.get(s)
+                if home is not None and home != c:
+                    xfers += 1
+            start = max(start, load[c] // width)
+            key = (start, xfers, load[c], c)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_c = c
+        cluster_of[i] = best_c
+        load[best_c] += 1
+        finish[i] = best_key[0] + lat[i]
+        if op.dest is not None and op.dest not in first_def_cluster:
+            first_def_cluster[op.dest] = best_c
+        for j, _l in ddg.succ_edges[i]:
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                heapq.heappush(heap, (-heights[j], j))
+    return cluster_of
+
+
+@dataclass
+class CopyInsertion:
+    """Result of copy insertion for one block.
+
+    ``shadow_cluster`` records, for every inserted copy's destination
+    register, the cluster whose register file receives the value (the
+    *consumer* cluster - remote-write semantics), which the register
+    allocator must honour.
+    """
+
+    ops: list
+    clusters: list
+    n_copies: int
+    shadow_cluster: dict
+
+
+def insert_copies(ops: list[IROp], clusters: list[int], machine,
+                  reg_home: dict) -> CopyInsertion:
+    """Insert ``xcopy`` ops for every cross-cluster register use.
+
+    For an in-block def on cluster ``cd`` consumed on cluster ``cu``, one
+    copy per ``(def, cu)`` pair is placed right after the def.  Live-in
+    registers (defined in another block, home cluster from ``reg_home``)
+    get their copies at block top.  Consumers are rewritten to read the
+    copy's shadow register.
+    """
+    n = len(ops)
+    m = machine.n_clusters
+    if m == 1:
+        return CopyInsertion(list(ops), list(clusters), 0, {})
+
+    def_idx: dict[str, int] = {}
+    # per original index, copies to append after it: list of (op, cluster)
+    after: list[list] = [[] for _ in range(n)]
+    top: list = []
+    n_copies = 0
+    shadow_cluster: dict[str, int] = {}
+
+    out_ops: list[IROp] = []
+    out_clusters: list[int] = []
+
+    def make_copy(reg: str, src_cluster: int, dst_cluster: int,
+                  attach: list) -> str:
+        nonlocal n_copies
+        name = f"{reg}>c{dst_cluster}"
+        cp = IROp(opcode("xcopy"), dest=name, srcs=(reg,))
+        attach.append((cp, src_cluster))
+        shadow_cluster[name] = dst_cluster
+        n_copies += 1
+        return name
+
+    rewritten: list[IROp] = []
+    copy_cache: dict[tuple, str] = {}
+    for i, op in enumerate(ops):
+        c = clusters[i]
+        new_srcs = []
+        changed = False
+        for s in op.srcs:
+            if not isinstance(s, str):
+                new_srcs.append(s)
+                continue
+            if s in def_idx:
+                d = def_idx[s]
+                cd = clusters[d]
+                if cd != c:
+                    key = ("local", d, c)
+                    name = copy_cache.get(key)
+                    if name is None:
+                        name = make_copy(s, cd, c, after[d])
+                        copy_cache[key] = name
+                    new_srcs.append(name)
+                    changed = True
+                    continue
+            else:
+                home = reg_home.get(s)
+                if home is not None and home != c:
+                    key = ("livein", s, c)
+                    name = copy_cache.get(key)
+                    if name is None:
+                        name = make_copy(s, home, c, top)
+                        copy_cache[key] = name
+                    new_srcs.append(name)
+                    changed = True
+                    continue
+            new_srcs.append(s)
+        rewritten.append(replace(op, srcs=tuple(new_srcs)) if changed else op)
+        if op.dest is not None:
+            def_idx[op.dest] = i
+
+    for cp, cc in top:
+        out_ops.append(cp)
+        out_clusters.append(cc)
+    for i, op in enumerate(rewritten):
+        out_ops.append(op)
+        out_clusters.append(clusters[i])
+        for cp, cc in after[i]:
+            out_ops.append(cp)
+            out_clusters.append(cc)
+    return CopyInsertion(out_ops, out_clusters, n_copies, shadow_cluster)

@@ -1,0 +1,212 @@
+"""Data-dependence graph construction for basic blocks.
+
+Edges carry latencies: a RAW edge from a 2-cycle load means the consumer
+issues at least 2 cycles later; WAR edges carry 0 (VLIW register reads
+happen before writes within a cycle); WAW edges carry enough slack that
+the later write lands after the earlier one.
+
+Control dependences encode the superblock speculation model:
+
+* every op gets a 0-latency edge to the block terminator (nothing may
+  issue after the final branch's cycle - it would belong to the next
+  fetch block);
+* stores and definitions of guarded (live-at-exit) registers may move
+  neither above nor below a side-exit branch;
+* everything else may hoist above side exits when speculation is enabled
+  (dismissible-load semantics, as in VEX).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.nodes import IROp
+
+__all__ = ["DDG", "build_ddg"]
+
+
+@dataclass
+class DDG:
+    """Dependence graph over ops ``0..n-1`` of one block."""
+
+    n: int
+    #: pred_edges[i] = list of (pred_index, latency)
+    pred_edges: list
+    #: succ_edges[i] = list of (succ_index, latency)
+    succ_edges: list
+    #: indices of RAW register edges as (src, dst) pairs - the only edges
+    #: that require an inter-cluster transfer when endpoints split.
+    raw_reg_edges: set
+
+    def heights(self, op_latency) -> list[int]:
+        """Longest latency-weighted path from each node to completion.
+
+        RAW edges already carry the producer's latency, so a node's height
+        is ``max(own latency, edge + successor height)`` - the number of
+        cycles from issuing this op until the chain below it completes.
+        Used as the list scheduler's priority (critical path first).
+        """
+        order = self.topological_order()
+        h = [0] * self.n
+        for i in reversed(order):
+            best = op_latency(i)
+            for j, lat in self.succ_edges[i]:
+                cand = lat + h[j]
+                if cand > best:
+                    best = cand
+            h[i] = best
+        return h
+
+    def topological_order(self) -> list[int]:
+        indeg = [len(p) for p in self.pred_edges]
+        stack = [i for i in range(self.n) if indeg[i] == 0]
+        order: list[int] = []
+        while stack:
+            i = stack.pop()
+            order.append(i)
+            for j, _lat in self.succ_edges[i]:
+                indeg[j] -= 1
+                if indeg[j] == 0:
+                    stack.append(j)
+        if len(order) != self.n:
+            raise ValueError("dependence cycle in basic block")
+        return order
+
+
+#: pattern kinds whose addresses are induction-strided: different unroll
+#: copies provably touch different addresses.
+_STRIDED_KINDS = ("stream", "table")
+
+
+def build_ddg(ops: list[IROp], latency_of, live_guard: frozenset,
+              speculate: bool = True, patterns: dict | None = None) -> DDG:
+    """Build the DDG for one block.
+
+    Args:
+        ops: block ops in program order (terminator last, if any).
+        latency_of: callable ``IROp -> int``.
+        live_guard: registers whose definitions must not cross side exits
+            (the kernel's live-out set).
+        speculate: allow safe upward motion past side exits.
+        patterns: pattern name -> AccessPattern, used for cross-copy
+            memory disambiguation (None = fully conservative).
+    """
+    n = len(ops)
+    pred: list[list] = [[] for _ in range(n)]
+    succ: list[list] = [[] for _ in range(n)]
+    raw_reg: set = set()
+    edge_set: set = set()
+
+    def add(a: int, b: int, lat: int, raw: bool = False) -> None:
+        if a == b:
+            return
+        key = (a, b)
+        if key in edge_set:
+            # keep the max latency for duplicate edges
+            for k, (d, l) in enumerate(succ[a]):
+                if d == b and lat > l:
+                    succ[a][k] = (b, lat)
+            for k, (s, l) in enumerate(pred[b]):
+                if s == a and lat > l:
+                    pred[b][k] = (a, lat)
+        else:
+            edge_set.add(key)
+            succ[a].append((b, lat))
+            pred[b].append((a, lat))
+        if raw:
+            raw_reg.add(key)
+
+    last_def: dict[str, int] = {}
+    uses_since: dict[str, list[int]] = {}
+    mem_by_class: dict[str, list[int]] = {}
+    branches: list[int] = []
+    term_idx = n - 1 if n and ops[-1].is_branch else -1
+
+    def mem_independent(a: IROp, b: IROp) -> bool:
+        """True when two same-class memory ops provably do not alias."""
+        if a.copy_tag < 0 or b.copy_tag < 0 or a.copy_tag == b.copy_tag:
+            return False
+        if patterns is None:
+            return False
+        pa = patterns.get(a.pattern)
+        pb = patterns.get(b.pattern)
+        return (
+            pa is not None
+            and pb is not None
+            and pa.kind in _STRIDED_KINDS
+            and pb.kind in _STRIDED_KINDS
+        )
+
+    for i, op in enumerate(ops):
+        lat_i = latency_of(op)
+        for s in op.reg_srcs():
+            if s in last_def:
+                d = last_def[s]
+                add(d, i, latency_of(ops[d]), raw=True)
+            uses_since.setdefault(s, []).append(i)
+        if op.dest is not None:
+            d = op.dest
+            for u in uses_since.get(d, ()):
+                add(u, i, 0)  # WAR
+            if d in last_def:
+                prev = last_def[d]
+                add(prev, i, max(1, latency_of(ops[prev]) - lat_i + 1))  # WAW
+            last_def[d] = i
+            uses_since[d] = []
+        if op.is_mem:
+            mem_by_class.setdefault(op.alias or op.pattern or "__mem__",
+                                    []).append(i)
+        if op.is_branch:
+            if branches:
+                add(branches[-1], i, 1)
+            # effects before a branch must not sink below it
+            for j in range(i):
+                pj = ops[j]
+                pinned = pj.opcode.is_store or (
+                    pj.dest is not None and pj.dest in live_guard
+                )
+                if pinned:
+                    add(j, i, 0)
+            branches.append(i)
+
+    # memory ordering within each alias class: load-load never conflicts;
+    # everything else keeps program order unless provably disjoint
+    for idxs in mem_by_class.values():
+        for x in range(len(idxs)):
+            i = idxs[x]
+            for y in range(x + 1, len(idxs)):
+                j = idxs[y]
+                a, b = ops[i], ops[j]
+                if a.opcode.is_load and b.opcode.is_load:
+                    continue
+                if mem_independent(a, b):
+                    continue
+                if a.opcode.is_store and b.opcode.is_load:
+                    add(i, j, 1)  # no same-cycle store-to-load forwarding
+                elif a.opcode.is_load and b.opcode.is_store:
+                    add(i, j, 0)  # reads precede writes within a cycle
+                else:
+                    add(i, j, 1)  # store-store order
+
+    # side exits pin unsafe later ops below them
+    for b in branches:
+        if b == term_idx:
+            continue
+        for j in range(b + 1, n):
+            oj = ops[j]
+            if oj.is_branch:
+                continue  # branch order edges already added
+            unsafe = (
+                not speculate
+                or oj.opcode.is_store
+                or (oj.dest is not None and oj.dest in live_guard)
+            )
+            if unsafe:
+                add(b, j, 1)
+
+    # nothing issues after the terminator's cycle
+    if term_idx >= 0:
+        for j in range(term_idx):
+            add(j, term_idx, 0)
+
+    return DDG(n, pred, succ, raw_reg)

@@ -1,0 +1,157 @@
+"""The compilation driver: IR kernel -> clustered VLIW program.
+
+Pipeline stages (Section 5.1 of the paper names the originals):
+
+1. verify IR                      (sanity)
+2. unroll + IV split + DCE        (Trace-Scheduling-style superblocks)
+3. per block: DDG -> BUG cluster assignment -> xcopy insertion
+4. per block: list scheduling (+ independent schedule validation)
+5. function-wide liveness + per-cluster linear-scan register allocation
+6. code generation into MultiOps, address assignment, machine validation
+
+The returned :class:`~repro.compiler.program.VLIWProgram` carries a
+``meta`` report (unroll factors, copies inserted, register pressure,
+static IPC) that examples and EXPERIMENTS.md quote directly.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.cluster import assign_clusters, insert_copies
+from repro.compiler.ddg import build_ddg
+from repro.compiler.options import CompilerOptions
+from repro.compiler.program import BranchInfo, VLIWBlock, VLIWProgram
+from repro.compiler.regalloc import allocate_registers
+from repro.compiler.scheduler import list_schedule, validate_schedule
+from repro.compiler.unroll import unroll_function
+from repro.ir.nodes import IRFunction
+from repro.ir.verifier import verify
+from repro.isa.instruction import MultiOp
+from repro.isa.operation import OPCODES, Operation
+
+__all__ = ["compile_kernel"]
+
+
+def compile_kernel(fn: IRFunction, machine, options: CompilerOptions | None = None,
+                   unroll_hints: dict | None = None) -> VLIWProgram:
+    """Compile an IR kernel for ``machine``.
+
+    Args:
+        fn: verified IR function.
+        machine: target :class:`~repro.arch.machine.Machine`.
+        options: compiler options (defaults are the paper-faithful ones).
+        unroll_hints: loop label -> unroll factor (the kernel's choices).
+    """
+    options = options or CompilerOptions()
+    verify(fn)
+    unrolled, ureport = unroll_function(fn, unroll_hints or {}, options)
+
+    def lat(op):
+        return machine.latency_of(op.opcode.op_class)
+
+    live_guard = unrolled.live_out
+    reg_home: dict[str, int] = {}
+    compiled_blocks = []  # (label, ops, clusters, schedule)
+    n_copies_total = 0
+
+    for blk in unrolled.blocks:
+        ops = list(blk.ops)
+        ddg = build_ddg(ops, lat, live_guard, options.speculate,
+                        unrolled.patterns)
+        clusters = assign_clusters(ops, ddg, machine, options.cluster_policy,
+                                   reg_home)
+        for i, op in enumerate(ops):
+            if op.dest is not None and op.dest not in reg_home:
+                reg_home[op.dest] = clusters[i]
+        for i, op in enumerate(ops):
+            for s in op.reg_srcs():
+                reg_home.setdefault(s, clusters[i])
+        ci = insert_copies(ops, clusters, machine, reg_home)
+        reg_home.update(ci.shadow_cluster)
+        n_copies_total += ci.n_copies
+        ddg2 = build_ddg(ci.ops, lat, live_guard, options.speculate,
+                         unrolled.patterns)
+        schedule = list_schedule(ci.ops, ci.clusters, ddg2, machine,
+                                 options.max_branches_per_instr)
+        validate_schedule(ci.ops, ddg2, schedule)
+        compiled_blocks.append((blk.label, ci.ops, ci.clusters, schedule))
+
+    # ------------------------------------------------------------------
+    # register allocation (function-wide)
+    # ------------------------------------------------------------------
+    successors = {
+        i: list(unrolled.successors(i)) for i in range(len(unrolled.blocks))
+    }
+    last = len(unrolled.blocks) - 1
+    if not unrolled.blocks[last].terminator or (
+        unrolled.blocks[last].terminator.opcode.is_cond
+    ):
+        successors[last] = sorted(set(successors[last]) | {0})  # restart edge
+    alloc = allocate_registers(
+        [(ops, schedule) for (_l, ops, _c, schedule) in compiled_blocks],
+        successors,
+        reg_home,
+        machine,
+        live_out_fn=unrolled.live_out,
+    )
+
+    # ------------------------------------------------------------------
+    # code generation
+    # ------------------------------------------------------------------
+    label_to_idx = {lbl: i for i, (lbl, *_rest) in enumerate(compiled_blocks)}
+    patterns = list(unrolled.patterns.values())
+    pattern_idx = {p.name: i for i, p in enumerate(patterns)}
+
+    out_blocks = []
+    for label, ops, clusters, schedule in compiled_blocks:
+        mops = []
+        branches = []
+        term_pos = len(ops) - 1 if ops and ops[-1].is_branch else -1
+        for cycle, row in enumerate(schedule.rows):
+            isa_ops = []
+            brinfo = None
+            for i in row:
+                op = ops[i]
+                _cy, c, s = schedule.placement[i]
+                dest = alloc.phys[op.dest] if op.dest is not None else -1
+                srcs = tuple(alloc.phys[r] for r in op.reg_srcs())
+                isa_ops.append(
+                    Operation(
+                        opcode=OPCODES[op.name],
+                        cluster=c,
+                        slot=s,
+                        dest=dest,
+                        srcs=srcs,
+                        pattern=pattern_idx[op.pattern] if op.pattern else -1,
+                        target=label_to_idx[op.target] if op.target else -1,
+                    )
+                )
+                if op.is_branch:
+                    brinfo = BranchInfo(
+                        target=label_to_idx[op.target],
+                        behavior=op.behavior,
+                        is_cond=op.opcode.is_cond,
+                        is_terminator=i == term_pos,
+                    )
+            mops.append(MultiOp(tuple(isa_ops), machine.n_clusters))
+            branches.append(brinfo)
+        out_blocks.append(VLIWBlock(label=label, mops=mops, branches=branches))
+
+    program = VLIWProgram(
+        name=fn.name,
+        machine=machine,
+        blocks=out_blocks,
+        patterns=patterns,
+        meta={
+            "unroll": ureport.factors,
+            "ivs_split": ureport.ivs_split,
+            "dce_removed": ureport.ops_removed_by_dce,
+            "xcopies": n_copies_total,
+            "reg_pressure": alloc.max_pressure,
+            "block_cycles": {lbl: s.n_cycles
+                             for (lbl, _o, _c, s) in compiled_blocks},
+        },
+    )
+    program.assign_addresses()
+    program.validate()
+    program.meta["static_ipc"] = program.static_ipc()
+    return program

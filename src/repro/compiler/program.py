@@ -1,0 +1,122 @@
+"""Compiled VLIW programs: the compiler's output, the simulator's input.
+
+A :class:`VLIWProgram` is a list of :class:`VLIWBlock`, each a dense
+sequence of :class:`~repro.isa.instruction.MultiOp` (one per cycle,
+including explicit NOP instructions for latency gaps - a single-threaded
+VLIW really does fetch those empty words, and they are precisely the
+vertical waste multithreading recovers).
+
+Control flow is carried per instruction by :class:`BranchInfo`; the trace
+generator interprets loop trip counts and branch probabilities at run
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instruction import MultiOp
+from repro.ir.nodes import BranchBehavior
+from repro.ir.patterns import AccessPattern
+
+__all__ = ["BranchInfo", "VLIWBlock", "VLIWProgram"]
+
+
+@dataclass(frozen=True)
+class BranchInfo:
+    """Dynamic branch metadata attached to a MultiOp.
+
+    Attributes:
+        target: target block index when taken.
+        behavior: loop / bernoulli annotation from the IR.
+        is_cond: False for unconditional gotos.
+        is_terminator: True for the block's final (layout) branch.
+    """
+
+    target: int
+    behavior: BranchBehavior
+    is_cond: bool
+    is_terminator: bool
+
+
+@dataclass
+class VLIWBlock:
+    """One compiled basic block."""
+
+    label: str
+    mops: list = field(default_factory=list)
+    #: parallel to mops: BranchInfo or None
+    branches: list = field(default_factory=list)
+
+    @property
+    def n_cycles(self) -> int:
+        return len(self.mops)
+
+    @property
+    def n_ops(self) -> int:
+        return sum(m.n_ops for m in self.mops)
+
+
+@dataclass
+class VLIWProgram:
+    """A fully compiled, allocated and laid-out kernel."""
+
+    name: str
+    machine: object
+    blocks: list
+    patterns: list
+    #: compile-time statistics (filled by the pipeline)
+    meta: dict = field(default_factory=dict)
+
+    def assign_addresses(self, base: int = 0x1000) -> None:
+        addr = base
+        for blk in self.blocks:
+            for mop in blk.mops:
+                mop.address = addr
+                addr += mop.size
+
+    @property
+    def n_static_instrs(self) -> int:
+        return sum(len(b.mops) for b in self.blocks)
+
+    @property
+    def n_static_ops(self) -> int:
+        return sum(b.n_ops for b in self.blocks)
+
+    def static_ipc(self) -> float:
+        """Operations per instruction word - ILP upper bound estimate."""
+        instrs = self.n_static_instrs
+        return self.n_static_ops / instrs if instrs else 0.0
+
+    def pattern_index(self, name: str) -> int:
+        for i, p in enumerate(self.patterns):
+            if p.name == name:
+                return i
+        raise KeyError(name)
+
+    def validate(self) -> None:
+        """Check every instruction against the machine description."""
+        for blk in self.blocks:
+            for mop in blk.mops:
+                mop.validate(self.machine)
+
+    def dump(self) -> str:
+        """Readable VLIW assembly listing (for docs and debugging)."""
+        lines = [f"; {self.name} on {self.machine.describe()}"]
+        for bi, blk in enumerate(self.blocks):
+            lines.append(f"{blk.label}:  ; block {bi}, {blk.n_cycles} cycles, "
+                         f"{blk.n_ops} ops")
+            for ci, mop in enumerate(blk.mops):
+                cells = []
+                for op in sorted(mop.ops, key=lambda o: (o.cluster, o.slot)):
+                    cells.append(str(op))
+                body = " | ".join(cells) if cells else "nop"
+                br = blk.branches[ci]
+                note = ""
+                if br is not None:
+                    kind = br.behavior.kind
+                    detail = (f"trip={br.behavior.trip}" if kind == "loop"
+                              else f"p={br.behavior.prob:g}")
+                    note = f"   ; -> block {br.target} ({kind} {detail})"
+                lines.append(f"  {ci:4d}: {body}{note}")
+        return "\n".join(lines)

@@ -1,0 +1,212 @@
+"""Loop unrolling with induction-variable splitting.
+
+The paper's compiler is a Multiflow/Trace-Scheduling derivative: it forms
+long traces (mostly by unrolling innermost loops) so the list scheduler
+can expose ILP.  We implement the piece that matters for issue-slot
+statistics: unrolling of single-block innermost loops, with
+
+* **register renaming** - a value defined in copy *k* gets a fresh name so
+  copies do not serialize on false dependences; the final copy writes the
+  original names so loop-carried values (accumulators) stay correct;
+* **induction-variable splitting** - ``i += c`` in copy *k* is replaced by
+  an independent ``i$k = i + k*c`` off the live-in value, and a single
+  ``i += U*c`` update survives; without this, unrolled iterations would
+  chain on the increment and ILP would be capped artificially;
+* **dead-code elimination** - compare/branch pairs of dropped intermediate
+  back-edges disappear.
+
+Multi-block loop nests keep their outer structure; only the annotated
+self-loop blocks unroll, which matches how trace schedulers pick the hot
+innermost trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.compiler.options import CompilerOptions
+from repro.ir.nodes import BranchBehavior, IRBlock, IRFunction, IROp, opcode
+
+__all__ = ["unroll_function", "dead_code_eliminate", "UnrollReport"]
+
+
+@dataclass
+class UnrollReport:
+    """What the unroller did, per loop label."""
+
+    factors: dict
+    ivs_split: dict
+    ops_removed_by_dce: int = 0
+
+
+def _is_self_loop(blk: IRBlock) -> bool:
+    term = blk.terminator
+    return (
+        term is not None
+        and term.behavior is not None
+        and term.behavior.kind == "loop"
+        and term.target == blk.label
+    )
+
+
+def _find_ivs(body: list[IROp]) -> dict[str, tuple[int, int]]:
+    """Detect simple induction variables.
+
+    Returns ``reg -> (def_position, signed_step)`` for registers with
+    exactly one def in the body of the form ``r = add/sub r, imm``.
+    """
+    def_count: dict[str, int] = {}
+    for op in body:
+        if op.dest is not None:
+            def_count[op.dest] = def_count.get(op.dest, 0) + 1
+    ivs: dict[str, tuple[int, int]] = {}
+    for pos, op in enumerate(body):
+        if (
+            op.dest is not None
+            and def_count.get(op.dest) == 1
+            and op.name in ("add", "sub")
+            and len(op.srcs) == 2
+            and op.srcs[0] == op.dest
+            and isinstance(op.srcs[1], int)
+        ):
+            step = op.srcs[1] if op.name == "add" else -op.srcs[1]
+            ivs[op.dest] = (pos, step)
+    return ivs
+
+
+def _last_def_positions(body: list[IROp]) -> dict[str, int]:
+    last: dict[str, int] = {}
+    for pos, op in enumerate(body):
+        if op.dest is not None:
+            last[op.dest] = pos
+    return last
+
+
+def unroll_block(blk: IRBlock, factor: int, iv_split: bool,
+                 fresh_prefix: str) -> tuple[IRBlock, dict]:
+    """Unroll a self-loop block ``factor`` times; returns (block, iv map)."""
+    term = blk.terminator
+    assert term is not None and term.behavior is not None
+    body = blk.body_ops()
+    trip = term.behavior.trip
+    new_trip = max(1, round(trip / factor))
+
+    ivs = _find_ivs(body) if iv_split else {}
+    last_def = _last_def_positions(body)
+    out: list[IROp] = []
+
+    # Shadow defs: iv value as seen by copy k before its (removed) update.
+    # shadow[r][k] is the register holding  r + k*step.
+    shadow: dict[str, list[str]] = {}
+    for r, (_pos, step) in ivs.items():
+        names = [r]
+        for k in range(1, factor):
+            sk = f"{r}${fresh_prefix}{k}"
+            out.append(IROp(opcode("add"), dest=sk, srcs=(r, k * step)))
+            names.append(sk)
+        shadow[r] = names
+
+    rename: dict[str, str] = {}  # current value name for body-defined regs
+    for k in range(factor):
+        is_last = k == factor - 1
+        for pos, op in enumerate(body):
+            if op.dest in ivs and pos == ivs[op.dest][0]:
+                if is_last:
+                    # single surviving update: r += factor * step
+                    step = ivs[op.dest][1] * factor
+                    name = "add" if step >= 0 else "sub"
+                    out.append(IROp(opcode(name), dest=op.dest,
+                                    srcs=(op.dest, abs(step))))
+                    rename[op.dest] = op.dest
+                continue
+            if op.is_branch and op is term:
+                continue  # the single back edge is re-appended below
+            srcs = []
+            for s in op.srcs:
+                if isinstance(s, str):
+                    if s in ivs:
+                        pos_iv = ivs[s][0]
+                        if pos > pos_iv and not is_last:
+                            srcs.append(shadow[s][k + 1] if k + 1 < factor else s)
+                        elif pos > pos_iv and is_last:
+                            srcs.append(s)  # reads the surviving update
+                        else:
+                            srcs.append(shadow[s][k])
+                    else:
+                        srcs.append(rename.get(s, s))
+                else:
+                    srcs.append(s)
+            if op.dest is not None and op.dest not in ivs:
+                if is_last and last_def.get(op.dest) == pos:
+                    new_dest = op.dest  # keep the architectural name live-out
+                else:
+                    new_dest = f"{op.dest}@{fresh_prefix}{k}_{pos}"
+                rename[op.dest] = new_dest
+            else:
+                new_dest = op.dest
+            tag = k if op.is_mem else -1
+            out.append(replace(op, dest=new_dest, srcs=tuple(srcs),
+                               copy_tag=tag))
+
+    new_term = replace(term, behavior=BranchBehavior.loop(new_trip))
+    out.append(new_term)
+    return IRBlock(blk.label, out), {r: s for r, (_p, s) in ivs.items()}
+
+
+def dead_code_eliminate(fn: IRFunction) -> int:
+    """Remove ops whose results are never used; returns #removed.
+
+    Memory ops, branches and definitions of live-out registers are roots.
+    Runs to a fixed point (chains of dead ops vanish entirely).
+    """
+    removed = 0
+    while True:
+        used: set[str] = set(fn.live_out)
+        for blk in fn.blocks:
+            for op in blk.ops:
+                for s in op.reg_srcs():
+                    used.add(s)
+        changed = False
+        for blk in fn.blocks:
+            keep: list[IROp] = []
+            for op in blk.ops:
+                dead = (
+                    op.dest is not None
+                    and op.dest not in used
+                    and not op.is_mem
+                    and not op.is_branch
+                )
+                if dead:
+                    removed += 1
+                    changed = True
+                else:
+                    keep.append(op)
+            blk.ops = keep
+        if not changed:
+            return removed
+
+
+def unroll_function(fn: IRFunction, hints: dict, options: CompilerOptions
+                    ) -> tuple[IRFunction, UnrollReport]:
+    """Unroll every annotated self-loop of ``fn`` per ``hints``/options.
+
+    ``hints`` maps loop labels to the kernel's preferred factors; options
+    may override them.  The function is rebuilt (input not mutated).
+    """
+    report = UnrollReport(factors={}, ivs_split={})
+    new_blocks: list[IRBlock] = []
+    for blk in fn.blocks:
+        factor = options.factor_for(blk.label, hints.get(blk.label, 1))
+        if factor > 1 and _is_self_loop(blk):
+            nb, ivs = unroll_block(blk, factor, options.iv_split,
+                                   fresh_prefix=f"u{len(new_blocks)}_")
+            report.factors[blk.label] = factor
+            report.ivs_split[blk.label] = sorted(ivs)
+            new_blocks.append(nb)
+        else:
+            new_blocks.append(IRBlock(blk.label, list(blk.ops)))
+    out = IRFunction(fn.name, new_blocks, dict(fn.patterns), fn.live_out)
+    out.params = getattr(fn, "params", frozenset())
+    if options.dce:
+        report.ops_removed_by_dce = dead_code_eliminate(out)
+    return out, report

@@ -1,0 +1,22 @@
+"""Reconstructed gate-level cost model for merge-control hardware."""
+
+from repro.cost.gates import CostParams, GateLib, clog2
+from repro.cost.merge_control import (
+    ControlCost,
+    csmt_parallel,
+    csmt_serial,
+    smt_serial,
+)
+from repro.cost.scheme_cost import SchemeCost, scheme_cost
+
+__all__ = [
+    "ControlCost",
+    "CostParams",
+    "GateLib",
+    "SchemeCost",
+    "clog2",
+    "csmt_parallel",
+    "csmt_serial",
+    "scheme_cost",
+    "smt_serial",
+]

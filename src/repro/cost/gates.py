@@ -1,0 +1,125 @@
+"""Gate-level primitives for the merge-control cost model.
+
+Transistor counts are standard static-CMOS figures; delays are counted in
+gate levels (the paper's Figure 5b/9 unit).  The DSD'07 companion paper
+[7] that published the original numbers is not available, so this module
+rebuilds the netlists from the papers' textual descriptions and
+calibrates the few free constants against every qualitative fact the
+ICPP'09 text states (DESIGN.md, section 5, items C1-C8).  Growth laws and
+orderings are the reproduced content; absolute counts are reconstructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, comb, log2
+
+__all__ = ["GateLib", "CostParams", "or_tree", "clog2"]
+
+
+def clog2(n: int) -> int:
+    """ceil(log2(n)) with clog2(1) == 0."""
+    return 0 if n <= 1 else ceil(log2(n))
+
+
+@dataclass(frozen=True)
+class GateLib:
+    """Static-CMOS transistor counts per gate."""
+
+    inv: int = 2
+    nand2: int = 4
+    nor2: int = 4
+    and2: int = 6
+    or2: int = 6
+    and3: int = 8
+    or3: int = 8
+    xor2: int = 12
+    mux2: int = 12
+
+
+def or_tree(lib: GateLib, n: int) -> tuple[int, int]:
+    """(transistors, gate-levels) of an n-input OR reduction tree."""
+    if n <= 1:
+        return (0, 0)
+    return ((n - 1) * lib.or2, clog2(n))
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Calibration constants of the reconstructed cost model.
+
+    The two SMT constants are per-cluster aggregates:
+
+    * ``smt_count_check`` - the per-cluster resource-count conflict logic
+      (small adders + comparators over both inputs' op-class counts);
+    * ``smt_routing_gen`` - generation of the routing-block select
+      signals (one priority encoder per issue slot over both inputs'
+      candidate operations); this dominates, as the paper says routing is
+      what makes SMT merge control expensive.
+
+    Delays: ``smt_sel_delay`` gate levels for the SMT selection decision,
+    ``smt_route_delay`` for routing-signal generation (overlappable with
+    downstream CSMT levels - the paper's 3SCC-vs-3CCS argument), with
+    ``smt_route_merged_extra`` added when an input is itself a merged
+    packet (re-routing already-routed operations).
+    """
+
+    gates: GateLib = GateLib()
+    smt_count_check: int = 160
+    smt_routing_gen: int = 880
+    smt_width_growth: int = 60      # per cluster, per extra thread tag
+    smt_sel_delay: int = 8
+    smt_sel_width_delay: int = 1    # extra levels per extra merged thread
+    smt_route_delay: int = 6
+    smt_route_merged_extra: int = 3
+    csmt_level_delay: int = 4
+
+    # ------------------------------------------------------------------
+    # CSMT building blocks
+    # ------------------------------------------------------------------
+    def csmt_level_transistors(self, m_clusters: int) -> int:
+        """One serial CSMT cascade level for an ``m_clusters`` machine.
+
+        Per cluster: usage-bit AND (conflict), OR into the reduction tree,
+        OR to accumulate the granted mask, AND to gate the grant.
+        """
+        g = self.gates
+        tree, _ = or_tree(g, m_clusters)
+        return (
+            m_clusters * g.and2      # pairwise conflict detect
+            + tree                   # conflict reduce
+            + m_clusters * g.or2     # accumulate granted usage mask
+            + m_clusters * g.and2    # grant gating
+            + 2 * g.inv              # grant latch drive
+        )
+
+    def csmt_decode(self, m_clusters: int, n_threads: int) -> int:
+        """Select-line decode for the per-cluster N-to-1 muxes."""
+        return 2 * m_clusters * clog2(max(2, n_threads))
+
+    def csmt_subset_check(self, m_clusters: int, s: int) -> int:
+        """Parallel implementation: disjointness check of one s-thread
+        subset ('at most one user per cluster' over s usage bits)."""
+        if s < 2:
+            return 0
+        g = self.gates
+        pairs = comb(s, 2)
+        tree, _ = or_tree(g, pairs)
+        return m_clusters * (pairs * g.and2 + tree + g.or2)
+
+    # ------------------------------------------------------------------
+    # SMT building block
+    # ------------------------------------------------------------------
+    def smt_block_transistors(self, m_clusters: int, width: int) -> int:
+        """One 2-input SMT merge-control block.
+
+        ``width`` counts the thread leaves feeding the block through its
+        inputs; hardware size is dominated by the (bounded) packet width,
+        so only the thread-tag bookkeeping grows with ``width``.
+        """
+        per_cluster = (
+            self.smt_count_check
+            + self.smt_routing_gen
+            + self.smt_width_growth * max(0, width - 2)
+        )
+        return m_clusters * per_cluster

@@ -1,0 +1,106 @@
+"""Thread-merge-control cost: SMT vs CSMT-serial vs CSMT-parallel.
+
+Reproduces Figure 5: transistor count (5a, log scale in the paper) and
+gate delays (5b) of the merge control alone, versus thread count, for a
+4-cluster 4-issue-per-cluster machine.  The multiplexers / routing block
+are excluded on both sides - the paper argues their area is equal, so the
+merge control is the only differentiating cost.
+
+Shapes reproduced (DESIGN.md C1-C3): CSMT-serial linear, CSMT-parallel
+exponential (functionally equivalent, lower delay), SMT linear with a
+20-40x bigger constant; CSMT-parallel crosses SMT between 5 and 8
+threads; CSMT delays stay far below SMT's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+from repro.cost.gates import CostParams, clog2
+
+__all__ = ["ControlCost", "csmt_serial", "csmt_parallel", "smt_serial"]
+
+_DEFAULT = CostParams()
+
+
+@dataclass(frozen=True)
+class ControlCost:
+    """Cost of one merge-control implementation."""
+
+    transistors: int
+    gate_delays: int
+    style: str
+    n_threads: int
+
+
+def csmt_serial(n_threads: int, m_clusters: int = 4,
+                params: CostParams = _DEFAULT) -> ControlCost:
+    """Serial (cascading) CSMT merge control for ``n_threads``."""
+    if n_threads < 2:
+        raise ValueError("merge control needs >= 2 threads")
+    levels = n_threads - 1
+    t = (levels * params.csmt_level_transistors(m_clusters)
+         + params.csmt_decode(m_clusters, n_threads))
+    d = levels * params.csmt_level_delay
+    return ControlCost(t, d, "CSMT SL", n_threads)
+
+
+def parallel_block_transistors(k: int, m_clusters: int,
+                               params: CostParams = _DEFAULT) -> int:
+    """Transistors of one k-input parallel CSMT block.
+
+    Checks, in parallel, every subset of the k-1 lower-priority inputs
+    against the leading input (2^(k-1) subset-disjointness checks), then
+    priority-selects the greedy-equivalent outcome.
+    """
+    total = 0
+    for bits in range(1, 2 ** (k - 1)):
+        s = bin(bits).count("1") + 1  # subset plus the leading thread
+        total += params.csmt_subset_check(m_clusters, s)
+    total += 10 * 2 ** (k - 1)                      # priority network
+    total += params.csmt_decode(m_clusters, k)
+    return total
+
+
+def parallel_block_delay(k: int, params: CostParams = _DEFAULT) -> int:
+    """Gate delays of one k-input parallel CSMT block."""
+    if k <= 2:
+        return params.csmt_level_delay
+    return 3 + clog2(comb(k, 2)) + clog2(k - 1)
+
+
+def csmt_parallel(n_threads: int, m_clusters: int = 4,
+                  params: CostParams = _DEFAULT) -> ControlCost:
+    """Parallel CSMT merge control (functionally = serial, faster)."""
+    if n_threads < 2:
+        raise ValueError("merge control needs >= 2 threads")
+    if n_threads == 2:
+        # with two threads the serial and parallel designs coincide
+        base = csmt_serial(2, m_clusters, params)
+        return ControlCost(base.transistors, base.gate_delays,
+                           "CSMT PL", 2)
+    t = parallel_block_transistors(n_threads, m_clusters, params)
+    d = parallel_block_delay(n_threads, params)
+    return ControlCost(t, d, "CSMT PL", n_threads)
+
+
+def smt_serial(n_threads: int, m_clusters: int = 4,
+               params: CostParams = _DEFAULT) -> ControlCost:
+    """Serial (cascading) SMT merge control for ``n_threads``.
+
+    Level k merges the accumulated packet (k threads deep) with thread
+    k+1; transistors grow mildly with level width (thread tags), the
+    routing-signal chain dominates delay.
+    """
+    if n_threads < 2:
+        raise ValueError("merge control needs >= 2 threads")
+    t = 0
+    sel_done = 0
+    route_done = 0
+    for k in range(2, n_threads + 1):
+        t += params.smt_block_transistors(m_clusters, k)
+        sel_done += params.smt_sel_delay + params.smt_sel_width_delay * (k - 2)
+        extra = params.smt_route_merged_extra if k > 2 else 0
+        route_done = max(sel_done, route_done) + params.smt_route_delay + extra
+    return ControlCost(t, max(sel_done, route_done), "SMT", n_threads)

@@ -1,0 +1,100 @@
+"""Per-scheme merging-hardware cost (Figure 9).
+
+Walks a scheme's AST summing block transistors and computing the
+critical-path delay with the paper's routing-overlap semantics
+(Section 4.2):
+
+* an SMT block's *selection* result is needed by downstream levels, but
+  its *routing-signal* computation proceeds in parallel with any
+  downstream CSMT selection - which is why 3SCC and 2SC3 match the
+  2-thread SMT's delay while 3CCS (SMT last) does not;
+* feeding an SMT block an already-merged packet costs extra routing
+  (re-routing routed operations), penalizing tree roots (2CS) and late
+  cascades;
+* a CSMT node adds one cascade level of selection delay and no routing.
+
+The delay of the whole scheme is ``max(selection-path, routing-path)`` at
+the root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.gates import CostParams
+from repro.cost.merge_control import (
+    parallel_block_delay,
+    parallel_block_transistors,
+)
+from repro.merge.scheme import Scheme
+
+__all__ = ["SchemeCost", "scheme_cost"]
+
+_DEFAULT = CostParams()
+
+
+@dataclass(frozen=True)
+class SchemeCost:
+    """Merging-hardware cost of one scheme."""
+
+    name: str
+    transistors: int
+    gate_delays: int
+    n_smt_blocks: int
+    n_csmt_blocks: int
+
+    def as_row(self) -> tuple:
+        return (self.name, self.transistors, self.gate_delays)
+
+
+def _n_leaves(node) -> int:
+    return len(node.leaves())
+
+
+def scheme_cost(scheme: Scheme, m_clusters: int = 4,
+                params: CostParams = _DEFAULT) -> SchemeCost:
+    """Transistors + gate delays for ``scheme`` on an M-cluster machine."""
+    totals = {"t": 0, "s": 0, "c": 0}
+
+    def walk(node) -> tuple[int, int, bool]:
+        """Returns (sel_done, route_done, is_merge_output)."""
+        if node.kind == "leaf":
+            return 0, 0, False
+        if node.kind == "parc":
+            k = len(node.children)
+            totals["t"] += parallel_block_transistors(k, m_clusters, params)
+            totals["c"] += 1
+            sel = 0
+            rt = 0
+            for ch in node.children:
+                s, r, _m = walk(ch)
+                sel = max(sel, s)
+                rt = max(rt, r)
+            return sel + parallel_block_delay(k, params), rt, True
+        # 2-input node
+        ls, lr, lm = walk(node.left)
+        rs, rr, rm = walk(node.right)
+        sel_in = max(ls, rs)
+        rt_in = max(lr, rr)
+        if node.merge_kind == "C":
+            totals["t"] += (params.csmt_level_transistors(m_clusters)
+                            + params.csmt_decode(m_clusters, 2))
+            totals["c"] += 1
+            return sel_in + params.csmt_level_delay, rt_in, True
+        width = _n_leaves(node)
+        totals["t"] += params.smt_block_transistors(m_clusters, width)
+        totals["s"] += 1
+        sel_done = (sel_in + params.smt_sel_delay
+                    + params.smt_sel_width_delay * (width - 2))
+        extra = params.smt_route_merged_extra if (lm or rm) else 0
+        route_done = max(sel_done, rt_in) + params.smt_route_delay + extra
+        return sel_done, route_done, True
+
+    sel, rt, _m = walk(scheme.root)
+    return SchemeCost(
+        name=scheme.name,
+        transistors=totals["t"],
+        gate_delays=max(sel, rt),
+        n_smt_blocks=totals["s"],
+        n_csmt_blocks=totals["c"],
+    )

@@ -1,0 +1,37 @@
+"""Experiment harness regenerating every paper table and figure."""
+
+from repro.eval.experiments import (
+    ALL_EXPERIMENTS,
+    default_config,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_table1,
+    run_table2,
+)
+from repro.eval.pareto import DesignPoint, design_points, pareto_frontier, recommend
+from repro.eval.result import ExperimentResult, render_table
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "DesignPoint",
+    "ExperimentResult",
+    "default_config",
+    "design_points",
+    "pareto_frontier",
+    "recommend",
+    "render_table",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,57 @@
+"""Command-line entry point: regenerate paper artifacts.
+
+Usage::
+
+    python -m repro.eval.cli --experiment fig10 --scale 0.5
+    python -m repro.eval.cli --experiment all --out results/
+
+``--scale`` multiplies the run length (1.0 = 20k instructions/thread;
+the paper used 100M - see DESIGN.md on scaling).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.eval.experiments import ALL_EXPERIMENTS, default_config
+
+_SIM_EXPERIMENTS = {"table1", "fig4", "fig6", "fig10", "fig11", "fig12"}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-eval",
+        description="Regenerate tables/figures of Gupta et al., ICPP 2009",
+    )
+    ap.add_argument("--experiment", "-e", default="all",
+                    choices=sorted(ALL_EXPERIMENTS) + ["all"],
+                    help="which artifact to regenerate")
+    ap.add_argument("--scale", type=float, default=1.0,
+                    help="simulation length multiplier (default 1.0)")
+    ap.add_argument("--out", default=None,
+                    help="directory for JSON results (optional)")
+    args = ap.parse_args(argv)
+
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    config = default_config(args.scale)
+    for name in names:
+        runner = ALL_EXPERIMENTS[name]
+        t0 = time.time()
+        if name in _SIM_EXPERIMENTS:
+            result = runner(config)
+        else:
+            result = runner()
+        print(result.render())
+        print(f"  [{time.time() - t0:.1f}s]")
+        print()
+        if args.out:
+            path = result.save(args.out)
+            print(f"  saved: {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""Design-space utilities: pareto frontiers and scheme recommendation.
+
+The paper's Section 5.2 walks the cost/performance space by hand ("if the
+cost of a 2-Thread SMT can be afforded, then 2SC3 and 3SCC are
+attractive...").  This module mechanizes that walk so users can query the
+trade-off for their own budgets, machines and workloads - the natural
+follow-on the conclusions invite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost import scheme_cost
+from repro.merge import PAPER_SCHEMES, canonical, get_scheme
+
+__all__ = ["DesignPoint", "design_points", "pareto_frontier", "recommend"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One scheme in the performance/cost plane."""
+
+    scheme: str
+    ipc: float
+    transistors: int
+    gate_delays: int
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance: at least as good on all axes, better on one."""
+        ge = (self.ipc >= other.ipc
+              and self.transistors <= other.transistors
+              and self.gate_delays <= other.gate_delays)
+        gt = (self.ipc > other.ipc
+              or self.transistors < other.transistors
+              or self.gate_delays < other.gate_delays)
+        return ge and gt
+
+
+def design_points(avg_ipc: dict, m_clusters: int = 4,
+                  schemes=None) -> list[DesignPoint]:
+    """Join measured average IPCs with modelled hardware costs.
+
+    ``avg_ipc`` maps scheme names (or their canonical cascades) to IPC,
+    e.g. ``run_fig10(...).meta['avg_ipc']`` flattened, or any user
+    measurement.
+    """
+    flat: dict[str, float] = {}
+    for label, ipc in avg_ipc.items():
+        for name in label.split(","):
+            flat[name.strip().upper()] = ipc
+    out = []
+    for name in schemes or (["1S"] + PAPER_SCHEMES):
+        name = name.upper()
+        ipc = flat.get(name, flat.get(canonical(name)))
+        if ipc is None:
+            continue
+        c = scheme_cost(get_scheme(name), m_clusters)
+        out.append(DesignPoint(name, ipc, c.transistors, c.gate_delays))
+    return out
+
+
+def pareto_frontier(points) -> list[DesignPoint]:
+    """Non-dominated points, sorted by increasing transistor count."""
+    front = [p for p in points
+             if not any(q.dominates(p) for q in points if q is not p)]
+    return sorted(front, key=lambda p: (p.transistors, -p.ipc))
+
+
+def recommend(points, max_transistors: float | None = None,
+              max_gate_delays: float | None = None) -> DesignPoint | None:
+    """Best scheme within a hardware budget (the Section 5.2 walk).
+
+    Returns the highest-IPC point satisfying both limits, preferring
+    fewer transistors on ties; None if the budget admits nothing.
+    """
+    ok = [
+        p for p in points
+        if (max_transistors is None or p.transistors <= max_transistors)
+        and (max_gate_delays is None or p.gate_delays <= max_gate_delays)
+    ]
+    if not ok:
+        return None
+    return max(ok, key=lambda p: (p.ipc, -p.transistors, -p.gate_delays))

@@ -1,0 +1,17 @@
+"""Compiler intermediate representation for kernel authoring."""
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.nodes import BranchBehavior, IRBlock, IRFunction, IROp
+from repro.ir.patterns import AccessPattern
+from repro.ir.verifier import IRError, verify
+
+__all__ = [
+    "AccessPattern",
+    "BranchBehavior",
+    "IRBlock",
+    "IRError",
+    "IRFunction",
+    "IROp",
+    "KernelBuilder",
+    "verify",
+]

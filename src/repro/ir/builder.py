@@ -1,0 +1,189 @@
+"""Fluent builder for authoring kernels in the IR.
+
+Example::
+
+    b = KernelBuilder("saxpy")
+    b.pattern("x", kind="stream", footprint=1 << 20, stride=4)
+    b.pattern("y", kind="stream", footprint=1 << 20, stride=4)
+    b.param("i", "a")
+    b.block("loop")
+    x = b.ld(None, "i", "x")
+    p = b.mpy(None, x, "a")
+    y = b.ld(None, "i", "y")
+    s = b.add(None, p, y)
+    b.st(s, "i", "y")
+    b.add("i", "i", 4)
+    c = b.cmp(None, "i", 4096)
+    b.br_loop(c, "loop", trip=1024)
+    fn = b.build()
+
+Register operands are strings; integer operands are immediates.  ``None``
+as a destination allocates a fresh temporary and the builder returns its
+name, so dataflow chains read naturally.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import BranchBehavior, IRBlock, IRFunction, IROp, opcode
+from repro.ir.patterns import AccessPattern
+from repro.ir.verifier import verify
+
+__all__ = ["KernelBuilder"]
+
+
+class KernelBuilder:
+    """Incrementally constructs an :class:`IRFunction`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._blocks: list[IRBlock] = []
+        self._patterns: dict[str, AccessPattern] = {}
+        self._params: set[str] = set()
+        self._live_out: set[str] = set()
+        self._tmp = 0
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+    def pattern(self, name: str, kind: str, footprint: int, stride: int = 8,
+                align: int = 4) -> str:
+        """Declare a memory access pattern; returns its name."""
+        if name in self._patterns:
+            raise ValueError(f"pattern {name!r} already declared")
+        self._patterns[name] = AccessPattern(name, kind, footprint, stride, align)
+        return name
+
+    def param(self, *regs: str) -> None:
+        """Declare registers initialized outside the kernel (live-in)."""
+        self._params.update(regs)
+
+    def live_out(self, *regs: str) -> None:
+        """Declare registers that must survive side exits / kernel end."""
+        self._live_out.update(regs)
+
+    # ------------------------------------------------------------------
+    # blocks and raw emission
+    # ------------------------------------------------------------------
+    def block(self, label: str) -> None:
+        """Open a new basic block; subsequent ops are appended to it."""
+        if any(b.label == label for b in self._blocks):
+            raise ValueError(f"duplicate block label {label!r}")
+        self._blocks.append(IRBlock(label))
+
+    def _cur(self) -> IRBlock:
+        if not self._blocks:
+            self.block("entry")
+        return self._blocks[-1]
+
+    def fresh(self, hint: str = "t") -> str:
+        self._tmp += 1
+        return f"%{hint}{self._tmp}"
+
+    def emit(self, op: IROp) -> IROp:
+        self._cur().ops.append(op)
+        return op
+
+    def _dest(self, dest: str | None) -> str:
+        return dest if dest is not None else self.fresh()
+
+    def _op(self, name: str, dest: str | None, *srcs) -> str:
+        d = self._dest(dest)
+        self.emit(IROp(opcode(name), dest=d, srcs=tuple(srcs)))
+        return d
+
+    # ------------------------------------------------------------------
+    # ALU / MUL convenience wrappers
+    # ------------------------------------------------------------------
+    def add(self, dest, a, b):
+        return self._op("add", dest, a, b)
+
+    def sub(self, dest, a, b):
+        return self._op("sub", dest, a, b)
+
+    def and_(self, dest, a, b):
+        return self._op("and", dest, a, b)
+
+    def or_(self, dest, a, b):
+        return self._op("or", dest, a, b)
+
+    def xor(self, dest, a, b):
+        return self._op("xor", dest, a, b)
+
+    def shl(self, dest, a, b):
+        return self._op("shl", dest, a, b)
+
+    def shr(self, dest, a, b):
+        return self._op("shr", dest, a, b)
+
+    def mov(self, dest, a):
+        return self._op("mov", dest, a)
+
+    def movi(self, dest, imm: int):
+        return self._op("movi", dest, imm)
+
+    def cmp(self, dest, a, b):
+        return self._op("cmp", dest, a, b)
+
+    def sel(self, dest, c, a, b):
+        return self._op("sel", dest, c, a, b)
+
+    def min_(self, dest, a, b):
+        return self._op("min", dest, a, b)
+
+    def max_(self, dest, a, b):
+        return self._op("max", dest, a, b)
+
+    def abs_(self, dest, a):
+        return self._op("abs", dest, a)
+
+    def mpy(self, dest, a, b):
+        return self._op("mpy", dest, a, b)
+
+    def mpyh(self, dest, a, b):
+        return self._op("mpyh", dest, a, b)
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+    def ld(self, dest, addr, pattern: str, alias: str | None = None) -> str:
+        """Load through ``pattern``; ``addr`` is the dependence-carrying
+        address register (the simulated address comes from the pattern)."""
+        d = self._dest(dest)
+        self.emit(IROp(opcode("ld"), dest=d, srcs=(addr,), pattern=pattern,
+                       alias=alias or pattern))
+        return d
+
+    def st(self, value, addr, pattern: str, alias: str | None = None) -> None:
+        self.emit(IROp(opcode("st"), dest=None, srcs=(value, addr),
+                       pattern=pattern, alias=alias or pattern))
+
+    # ------------------------------------------------------------------
+    # control flow
+    # ------------------------------------------------------------------
+    def br_loop(self, cond, target: str, trip: int) -> None:
+        """Backward conditional branch implementing a counted loop."""
+        self.emit(IROp(opcode("br"), srcs=(cond,), target=target,
+                       behavior=BranchBehavior.loop(trip)))
+
+    def br_if(self, cond, target: str, prob: float) -> None:
+        """Data-dependent conditional branch, taken with probability."""
+        self.emit(IROp(opcode("br"), srcs=(cond,), target=target,
+                       behavior=BranchBehavior.bernoulli(prob)))
+
+    def goto(self, target: str) -> None:
+        self.emit(IROp(opcode("goto"), target=target,
+                       behavior=BranchBehavior.always()))
+
+    # ------------------------------------------------------------------
+    def build(self, check: bool = True) -> IRFunction:
+        """Finalize and (optionally) verify the function."""
+        fn = IRFunction(
+            name=self.name,
+            blocks=self._blocks,
+            patterns=dict(self._patterns),
+            live_out=frozenset(self._live_out | self._params),
+        )
+        fn.params = frozenset(self._params)  # annotation used by the verifier
+        if check:
+            verify(fn)
+        return fn

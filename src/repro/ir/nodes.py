@@ -1,0 +1,190 @@
+"""IR data structures: operations, blocks, functions.
+
+The IR is classic three-address code over *virtual registers* (strings),
+organized into basic blocks with explicit control flow.  It is **not**
+SSA: a register may be redefined, and loop-carried values simply reuse the
+same name across the back edge.  The scheduler recovers exact ordering
+constraints from RAW/WAR/WAW dependences, which keeps kernel authoring
+ergonomic while remaining faithful to what a VEX-class compiler consumes.
+
+Branch behaviour is *annotated* rather than computed, because kernels are
+structural models of the original benchmarks: a branch either implements a
+counted loop (``BranchBehavior.loop(trip)``) or a data-dependent branch
+with a taken probability (``BranchBehavior.bernoulli(p)``).  The trace
+generator samples these deterministically per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.operation import OPCODES, Opcode
+
+__all__ = ["BranchBehavior", "IROp", "IRBlock", "IRFunction", "Operand"]
+
+#: an operand is a virtual register name or an integer immediate.
+Operand = "str | int"
+
+
+@dataclass(frozen=True)
+class BranchBehavior:
+    """Dynamic behaviour annotation for a conditional branch.
+
+    ``loop(trip)``: taken ``trip - 1`` consecutive times, then not taken
+    (a backward branch implementing a counted loop).
+    ``bernoulli(p)``: taken with probability ``p`` each execution.
+    """
+
+    kind: str
+    trip: int = 0
+    prob: float = 0.0
+
+    @staticmethod
+    def loop(trip: int) -> "BranchBehavior":
+        if trip < 1:
+            raise ValueError("loop trip count must be >= 1")
+        return BranchBehavior("loop", trip=trip)
+
+    @staticmethod
+    def bernoulli(prob: float) -> "BranchBehavior":
+        if not 0.0 <= prob <= 1.0:
+            raise ValueError("branch probability must be in [0, 1]")
+        return BranchBehavior("bernoulli", prob=prob)
+
+    @staticmethod
+    def always() -> "BranchBehavior":
+        return BranchBehavior("bernoulli", prob=1.0)
+
+
+@dataclass
+class IROp:
+    """One IR operation.
+
+    Attributes:
+        opcode: entry from :data:`repro.isa.operation.OPCODES`.
+        dest: destination virtual register or None.
+        srcs: operands (register names or immediates).
+        pattern: access-pattern name for memory ops.
+        alias: memory alias class; ops in the same class keep program
+            order, different classes may reorder.
+        target: target block label for branches.
+        behavior: branch behaviour annotation.
+        copy_tag: unroll copy index for memory ops (-1 = unknown).  Memory
+            ops of the same alias class but different copies are
+            independent when the pattern is induction-strided (stream /
+            table): the induction variable advanced between copies, so the
+            addresses provably differ.  Random patterns stay conservative.
+    """
+
+    opcode: Opcode
+    dest: str | None = None
+    srcs: tuple = ()
+    pattern: str | None = None
+    alias: str | None = None
+    target: str | None = None
+    behavior: BranchBehavior | None = None
+    copy_tag: int = -1
+
+    @property
+    def name(self) -> str:
+        return self.opcode.name
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode.op_class.name == "BR"
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opcode.op_class.name == "MEM"
+
+    def reg_srcs(self) -> tuple[str, ...]:
+        """Source operands that are registers (immediates filtered out)."""
+        return tuple(s for s in self.srcs if isinstance(s, str))
+
+    def __str__(self) -> str:
+        parts = [self.name]
+        if self.dest is not None:
+            parts.append(self.dest)
+        parts.extend(str(s) for s in self.srcs)
+        if self.pattern:
+            parts.append(f"[{self.pattern}]")
+        if self.target:
+            parts.append(f"-> {self.target}")
+        return " ".join(parts)
+
+
+@dataclass
+class IRBlock:
+    """A basic block: straight-line ops, at most one branch, at the end."""
+
+    label: str
+    ops: list[IROp] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> IROp | None:
+        """The final branch op if the block ends with one."""
+        if self.ops and self.ops[-1].is_branch:
+            return self.ops[-1]
+        return None
+
+    def body_ops(self) -> list[IROp]:
+        """All ops excluding the terminator (side-exit branches included)."""
+        t = self.terminator
+        return self.ops[:-1] if t is not None else list(self.ops)
+
+
+@dataclass
+class IRFunction:
+    """A kernel: ordered blocks, pattern table and liveness annotations.
+
+    Attributes:
+        name: kernel name.
+        blocks: blocks in layout order (fall-through follows this order).
+        patterns: pattern name -> AccessPattern.
+        live_out: registers that must survive side exits and function end;
+            the scheduler will not speculate definitions of these above a
+            side-exit branch.
+    """
+
+    name: str
+    blocks: list[IRBlock] = field(default_factory=list)
+    patterns: dict = field(default_factory=dict)
+    live_out: frozenset = frozenset()
+
+    def block_index(self) -> dict[str, int]:
+        return {b.label: i for i, b in enumerate(self.blocks)}
+
+    def block(self, label: str) -> IRBlock:
+        for b in self.blocks:
+            if b.label == label:
+                return b
+        raise KeyError(f"no block {label!r} in {self.name}")
+
+    def successors(self, i: int) -> list[int]:
+        """Static successor block indices of block ``i`` in layout order."""
+        idx = self.block_index()
+        blk = self.blocks[i]
+        succs: list[int] = []
+        term = blk.terminator
+        if term is not None:
+            succs.append(idx[term.target])
+            if term.opcode.is_cond and i + 1 < len(self.blocks):
+                succs.append(i + 1)
+        elif i + 1 < len(self.blocks):
+            succs.append(i + 1)
+        # side exits inside the body also create successors
+        for op in blk.body_ops():
+            if op.is_branch:
+                succs.append(idx[op.target])
+        return succs
+
+    def n_ops(self) -> int:
+        return sum(len(b.ops) for b in self.blocks)
+
+
+def opcode(name: str) -> Opcode:
+    """Look up an opcode by mnemonic, with a helpful error."""
+    try:
+        return OPCODES[name]
+    except KeyError:
+        raise KeyError(f"unknown opcode {name!r}; known: {sorted(OPCODES)}") from None

@@ -1,0 +1,57 @@
+"""Memory access-pattern annotations.
+
+The paper's benchmarks are real binaries whose loads/stores hit the cache
+hierarchy with characteristic locality.  We cannot execute MediaBench /
+SPECint, so every memory operation in a kernel references a *pattern*
+describing how its addresses evolve; the trace generator turns patterns
+into concrete addresses (per thread, seeded, deterministic).
+
+Pattern kinds:
+
+* ``stream`` - sequential/strided sweep over ``footprint`` bytes (media
+  inputs/outputs; compulsory misses once per cache line).
+* ``rand``   - uniform random aligned accesses over ``footprint`` bytes
+  (hash tables, mcf's arc arrays; miss rate tracks footprint vs cache).
+* ``chase``  - like ``rand`` but documents a serial pointer chase; timing
+  equals ``rand`` under a blocking cache, the serialization lives in the
+  kernel's register dependence chain.
+* ``table``  - small lookup table (S-boxes, quantization tables) that
+  becomes cache-resident after warm-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AccessPattern"]
+
+_KINDS = ("stream", "rand", "chase", "table")
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """Address-generation recipe for one logical data structure.
+
+    Attributes:
+        name: pattern identifier, unique within a kernel.
+        kind: one of ``stream``, ``rand``, ``chase``, ``table``.
+        footprint: size in bytes of the region the accesses cover.
+        stride: byte stride between consecutive accesses (stream only).
+        align: address alignment in bytes.
+    """
+
+    name: str
+    kind: str
+    footprint: int
+    stride: int = 8
+    align: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown pattern kind {self.kind!r}; expected {_KINDS}")
+        if self.footprint <= 0:
+            raise ValueError("footprint must be positive")
+        if self.kind == "stream" and self.stride <= 0:
+            raise ValueError("stream stride must be positive")
+        if self.align <= 0 or self.align & (self.align - 1):
+            raise ValueError("align must be a positive power of two")

@@ -1,0 +1,84 @@
+"""Structural verification of IR functions.
+
+Catches kernel-authoring mistakes early, before the compiler turns them
+into confusing scheduling failures: undefined registers, dangling branch
+targets, missing pattern declarations, malformed loops.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import IRFunction
+
+__all__ = ["IRError", "verify"]
+
+
+class IRError(ValueError):
+    """Raised when an IR function is structurally invalid."""
+
+
+def verify(fn: IRFunction) -> None:
+    """Raise :class:`IRError` unless ``fn`` is well formed."""
+    if not fn.blocks:
+        raise IRError(f"{fn.name}: function has no blocks")
+
+    labels = [b.label for b in fn.blocks]
+    if len(set(labels)) != len(labels):
+        raise IRError(f"{fn.name}: duplicate block labels")
+    label_set = set(labels)
+
+    params = getattr(fn, "params", frozenset())
+    defined: set[str] = set(params)
+    for blk in fn.blocks:
+        for op in blk.ops:
+            if op.dest is not None:
+                defined.add(op.dest)
+
+    for blk in fn.blocks:
+        _verify_block(fn, blk, label_set, defined)
+
+    for name in fn.live_out:
+        if name not in defined:
+            raise IRError(f"{fn.name}: live_out register {name!r} is never defined")
+
+
+def _verify_block(fn: IRFunction, blk, labels: set[str], defined: set[str]) -> None:
+    where = f"{fn.name}/{blk.label}"
+    for i, op in enumerate(blk.ops):
+        for s in op.reg_srcs():
+            if s not in defined:
+                raise IRError(f"{where}: op {i} ({op}) uses undefined register {s!r}")
+        if op.is_mem:
+            if op.pattern is None:
+                raise IRError(f"{where}: memory op {op} lacks a pattern")
+            if op.pattern not in fn.patterns:
+                raise IRError(f"{where}: op {op} references unknown pattern "
+                              f"{op.pattern!r}")
+            if op.opcode.is_store and len(op.reg_srcs()) < 1:
+                raise IRError(f"{where}: store {op} has no source register")
+            if op.opcode.is_load and op.dest is None:
+                raise IRError(f"{where}: load {op} has no destination")
+        elif op.pattern is not None:
+            raise IRError(f"{where}: non-memory op {op} carries a pattern")
+
+        if op.is_branch:
+            if op.target not in labels:
+                raise IRError(f"{where}: branch {op} targets unknown block "
+                              f"{op.target!r}")
+            if op.behavior is None:
+                raise IRError(f"{where}: branch {op} lacks a behaviour annotation")
+            is_term = i == len(blk.ops) - 1
+            if op.behavior.kind == "loop":
+                if not is_term:
+                    raise IRError(f"{where}: loop back-edge {op} must be the "
+                                  f"block terminator")
+                if op.target != blk.label:
+                    # multi-block loops are legal, but the unroller only
+                    # handles self-loops; flag the common mistake of a loop
+                    # branch pointing at the wrong label.
+                    if op.target not in labels:
+                        raise IRError(f"{where}: loop branch target missing")
+            if not op.opcode.is_cond and op.opcode.name == "goto" and not is_term:
+                raise IRError(f"{where}: goto must terminate its block")
+        else:
+            if op.dest is None and not op.opcode.is_store:
+                raise IRError(f"{where}: op {op} defines nothing")

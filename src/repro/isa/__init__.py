@@ -1,0 +1,22 @@
+"""VLIW ISA: operations, long instructions and usage metadata."""
+
+from repro.isa.instruction import (
+    FIELDS_PER_CLUSTER,
+    MultiOp,
+    high_mask,
+    pack_caps,
+    packed_fits,
+)
+from repro.isa.operation import OPCODES, OpClass, Opcode, Operation
+
+__all__ = [
+    "FIELDS_PER_CLUSTER",
+    "MultiOp",
+    "OPCODES",
+    "OpClass",
+    "Opcode",
+    "Operation",
+    "high_mask",
+    "pack_caps",
+    "packed_fits",
+]

@@ -1,0 +1,131 @@
+"""Operations: the atoms of VLIW instructions.
+
+An :class:`Operation` is one syllable of a VLIW instruction, already
+assigned to a ``(cluster, slot)`` by the compiler back-end.  Operand fields
+carry *physical* register numbers after register allocation (virtual
+numbers before).  Memory operations reference an access-pattern identifier
+that the trace generator uses to synthesize addresses; branches carry
+static control-flow metadata.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["OpClass", "Opcode", "Operation", "OPCODES"]
+
+
+class OpClass(enum.IntEnum):
+    """Resource class of an operation (determines legal issue slots)."""
+
+    ALU = 0
+    MUL = 1
+    MEM = 2
+    BR = 3
+    #: Inter-cluster register copy; occupies an ALU slot in *both* the
+    #: source and destination cluster (Lx/VEX send+receive pair).
+    COPY = 4
+
+
+@dataclass(frozen=True)
+class Opcode:
+    """A named operation kind with its resource class."""
+
+    name: str
+    op_class: OpClass
+    #: True for memory reads (affects nothing but trace bookkeeping).
+    is_load: bool = False
+    #: True for memory writes.
+    is_store: bool = False
+    #: True for conditional branches.
+    is_cond: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Opcode({self.name})"
+
+
+def _mk(name: str, op_class: OpClass, **kw) -> Opcode:
+    return Opcode(name, op_class, **kw)
+
+
+#: The VEX-flavoured opcode table used by the IR, compiler and simulator.
+OPCODES: dict[str, Opcode] = {
+    op.name: op
+    for op in [
+        # ALU
+        _mk("add", OpClass.ALU),
+        _mk("sub", OpClass.ALU),
+        _mk("and", OpClass.ALU),
+        _mk("or", OpClass.ALU),
+        _mk("xor", OpClass.ALU),
+        _mk("shl", OpClass.ALU),
+        _mk("shr", OpClass.ALU),
+        _mk("mov", OpClass.ALU),
+        _mk("movi", OpClass.ALU),
+        _mk("cmp", OpClass.ALU),
+        _mk("sel", OpClass.ALU),
+        _mk("min", OpClass.ALU),
+        _mk("max", OpClass.ALU),
+        _mk("abs", OpClass.ALU),
+        # MUL
+        _mk("mpy", OpClass.MUL),
+        _mk("mpyh", OpClass.MUL),
+        # MEM
+        _mk("ld", OpClass.MEM, is_load=True),
+        _mk("ldb", OpClass.MEM, is_load=True),
+        _mk("st", OpClass.MEM, is_store=True),
+        _mk("stb", OpClass.MEM, is_store=True),
+        # BR
+        _mk("br", OpClass.BR, is_cond=True),
+        _mk("goto", OpClass.BR),
+        # inter-cluster copy
+        _mk("xcopy", OpClass.COPY),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One scheduled operation inside a VLIW instruction.
+
+    Attributes:
+        opcode: entry of :data:`OPCODES`.
+        cluster: executing cluster.
+        slot: issue slot within the cluster.
+        dest: destination register (or -1 if none).
+        srcs: source registers.
+        pattern: access-pattern id for memory ops (-1 otherwise); resolved
+            by the trace generator against the kernel's pattern table.
+        target: static successor block index for branches (-1 otherwise).
+        src_cluster: for ``xcopy``, the cluster the value is read from.
+    """
+
+    opcode: Opcode
+    cluster: int
+    slot: int
+    dest: int = -1
+    srcs: tuple[int, ...] = ()
+    pattern: int = -1
+    target: int = -1
+    src_cluster: int = -1
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.opcode.op_class
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opcode.op_class is OpClass.MEM
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opcode.op_class is OpClass.BR
+
+    def __str__(self) -> str:
+        core = f"{self.opcode.name} c{self.cluster}.s{self.slot}"
+        if self.dest >= 0:
+            core += f" r{self.dest}"
+        if self.srcs:
+            core += " " + ",".join(f"r{s}" for s in self.srcs)
+        return core

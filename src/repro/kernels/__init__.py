@@ -1,0 +1,13 @@
+"""Table 1 benchmark kernels."""
+
+from repro.kernels.base import KernelSpec, compile_spec
+from repro.kernels.suite import SUITE, by_class, by_name, compile_suite
+
+__all__ = [
+    "KernelSpec",
+    "SUITE",
+    "by_class",
+    "by_name",
+    "compile_spec",
+    "compile_suite",
+]

@@ -1,0 +1,73 @@
+"""colorspace - production printer colour-space conversion (ILP class H).
+
+Per pixel: load packed RGB, unpack, 3x3 matrix multiply (9 multiplies),
+round/shift, clamp each channel, repack, store.  Entirely independent
+pixels make this the widest kernel in the suite - the paper's highest
+IPCp (8.88) - while the two pixel streams make it the most
+memory-sensitive H benchmark (IPCr 5.47).
+"""
+
+from __future__ import annotations
+
+from repro.ir import KernelBuilder
+from repro.kernels.base import KernelSpec
+from repro.kernels.util import clamp, unpack_bytes
+
+IMG_FOOTPRINT = 4 * 1024 * 1024
+PX_STRIDE = 4
+UNROLL = 5
+TRIP = 4096
+
+#: fixed-point CSC matrix (BT.601-ish), 1.14 format
+_M = (
+    (4211, 8258, 1606),
+    (-2425, -4768, 7193),
+    (7193, -6029, -1163),
+)
+
+
+def build():
+    b = KernelBuilder("colorspace")
+    # production pipeline: 16-bit channels, two words per pixel in and out
+    b.pattern("src", kind="stream", footprint=IMG_FOOTPRINT, stride=PX_STRIDE,
+              align=1)
+    b.pattern("dst", kind="stream", footprint=IMG_FOOTPRINT, stride=PX_STRIDE,
+              align=1)
+    b.param("i")
+    b.live_out("i")
+
+    b.block("px")
+    w = b.ld(None, "i", "src")
+    w2 = b.ld(None, "i", "src")
+    r, g = unpack_bytes(b, w, 2)
+    bl, _x = unpack_bytes(b, w2, 2)
+    chans = []
+    for row in _M:
+        p0 = b.mpy(None, r, row[0])
+        p1 = b.mpy(None, g, row[1])
+        p2 = b.mpy(None, bl, row[2])
+        s = b.add(None, p0, p1)
+        s = b.add(None, s, p2)
+        s = b.add(None, s, 1 << 13)    # rounding
+        s = b.shr(None, s, 14)
+        chans.append(clamp(b, s, 0, 255))
+    y, u, v = chans
+    hi = b.shl(None, u, 16)
+    out_lo = b.or_(None, y, hi)
+    b.st(out_lo, "i", "dst")
+    b.st(v, "i", "dst")
+    b.add("i", "i", PX_STRIDE)
+    done = b.cmp(None, "i", TRIP)
+    b.br_loop(done, "px", trip=TRIP)
+    return b.build()
+
+
+SPEC = KernelSpec(
+    name="colorspace",
+    ilp_class="H",
+    description="Colorspace Conversion (3x3 fixed-point CSC)",
+    paper_ipcr=5.47,
+    paper_ipcp=8.88,
+    build=build,
+    unroll={"px": UNROLL},
+)

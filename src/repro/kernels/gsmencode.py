@@ -1,0 +1,54 @@
+"""gsmencode - MediaBench GSM 06.10 full-rate encoder (ILP class L).
+
+Models the long-term predictor: a saturated multiply-accumulate over the
+reconstructed signal - a strictly serial accumulator chain with
+per-sample saturation, which is why gsm encodes at IPC ~1 no matter how
+wide the machine is.  Everything lives in small resident buffers
+(Table 1: IPCr = IPCp = 1.07, zero cache sensitivity).
+"""
+
+from __future__ import annotations
+
+from repro.ir import KernelBuilder
+from repro.kernels.base import KernelSpec
+from repro.kernels.util import clamp
+
+SAMPLES_FOOTPRINT = 8 * 1024
+COEFF_FOOTPRINT = 1024
+TRIP = 320
+
+
+def build():
+    b = KernelBuilder("gsmencode")
+    b.pattern("samples", kind="stream", footprint=SAMPLES_FOOTPRINT,
+              stride=2, align=2)
+    b.pattern("coeff", kind="table", footprint=COEFF_FOOTPRINT, align=2)
+    b.pattern("out", kind="stream", footprint=SAMPLES_FOOTPRINT, stride=2,
+              align=2)
+    b.param("i", "acc")
+    b.live_out("i", "acc")
+
+    b.block("ltp")
+    s = b.ld(None, "i", "samples")
+    c = b.ld(None, "i", "coeff")
+    p = b.mpy(None, s, c)
+    r = b.shr(None, p, 15)            # GSM_MULT_R rounding shift
+    a1 = b.add(None, "acc", r)
+    sat = clamp(b, a1, -32768, 32767)  # GSM saturated add
+    b.mov("acc", sat)
+    b.st(sat, "i", "out")
+    b.add("i", "i", 2)
+    done = b.cmp(None, "i", TRIP)
+    b.br_loop(done, "ltp", trip=TRIP)
+    return b.build()
+
+
+SPEC = KernelSpec(
+    name="gsmencode",
+    ilp_class="L",
+    description="GSM Encoder (saturated LTP filter)",
+    paper_ipcr=1.07,
+    paper_ipcp=1.07,
+    build=build,
+    unroll={},
+)

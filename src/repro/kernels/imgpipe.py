@@ -1,0 +1,53 @@
+"""imgpipe - HP's high-performance-printer imaging pipeline (ILP class H).
+
+A classic per-pixel pipeline: load, gain multiply, offset, gamma-ish
+shift, clamp, store.  Pixels are independent, so the kernel unrolls wide
+and fills the machine (Table 1: IPCp 4.05); the pixel streams mostly hit
+after the line is fetched (byte elements - IPCr 3.81, a small gap).
+"""
+
+from __future__ import annotations
+
+from repro.ir import KernelBuilder
+from repro.kernels.base import KernelSpec
+from repro.kernels.util import clamp
+
+IMG_FOOTPRINT = 2 * 1024 * 1024
+LUT_FOOTPRINT = 1024
+UNROLL = 6
+TRIP = 4096
+
+
+def build():
+    b = KernelBuilder("imgpipe")
+    b.pattern("src", kind="stream", footprint=IMG_FOOTPRINT, stride=1, align=1)
+    b.pattern("dst", kind="stream", footprint=IMG_FOOTPRINT, stride=1, align=1)
+    b.pattern("lut", kind="table", footprint=LUT_FOOTPRINT, align=1)
+    b.param("i", "gain", "offs")
+    b.live_out("i")
+
+    b.block("pixel")
+    p = b.ld(None, "i", "src")
+    g = b.mpy(None, p, "gain")
+    g2 = b.shr(None, g, 8)
+    o = b.add(None, g2, "offs")
+    t = b.ld(None, o, "lut")           # tone-curve lookup
+    v = b.add(None, t, 2)
+    v = b.shr(None, v, 2)
+    c = clamp(b, v, 0, 255)
+    b.st(c, "i", "dst")
+    b.add("i", "i", 1)
+    done = b.cmp(None, "i", TRIP)
+    b.br_loop(done, "pixel", trip=TRIP)
+    return b.build()
+
+
+SPEC = KernelSpec(
+    name="imgpipe",
+    ilp_class="H",
+    description="Imaging pipeline (per-pixel gain/LUT/clamp)",
+    paper_ipcr=3.81,
+    paper_ipcp=4.05,
+    build=build,
+    unroll={"pixel": UNROLL},
+)

@@ -1,0 +1,111 @@
+"""cjpeg / djpeg - MediaBench JPEG codecs (ILP class M).
+
+cjpeg's hot loop here is the forward-DCT + quantization of a sample
+pair: a butterfly with limited width, then a multiply/shift quantizer.
+Its *input image* streams from memory (cjpeg shows the class's largest
+real-vs-perfect gap in Table 1: 1.12 vs 1.66); the DCT workspace and
+quantization tables are resident.
+
+djpeg (dequantize + column IDCT step) works entirely in resident decode
+buffers - IPCr ~= IPCp = 1.77 - and is a touch wider than cjpeg.
+"""
+
+from __future__ import annotations
+
+from repro.ir import KernelBuilder
+from repro.kernels.base import KernelSpec
+
+IMG_FOOTPRINT = 1024 * 1024
+WORK_FOOTPRINT = 4 * 1024
+QTAB_FOOTPRINT = 256
+TRIP = 512
+
+
+def build_cjpeg():
+    b = KernelBuilder("cjpeg")
+    b.pattern("img", kind="stream", footprint=IMG_FOOTPRINT, stride=8, align=1)
+    b.pattern("work", kind="table", footprint=WORK_FOOTPRINT, align=2)
+    b.pattern("qtab", kind="table", footprint=QTAB_FOOTPRINT, align=2)
+    b.param("i")
+    b.live_out("i")
+
+    b.block("fdct")
+    s0 = b.ld(None, "i", "img")
+    s1 = b.ld(None, "i", "img")
+    w0 = b.ld(None, "i", "work")
+    # butterfly pair
+    t0 = b.add(None, s0, s1)
+    t1 = b.sub(None, s0, s1)
+    u0 = b.add(None, t0, w0)
+    z = b.mpy(None, t1, 4433)          # FIX(0.541196100)
+    z2 = b.shr(None, z, 11)
+    v0 = b.add(None, u0, z2)
+    v1 = b.sub(None, u0, z2)
+    # quantize both coefficients (serial divide-by-multiply chains)
+    q0 = b.ld(None, "i", "qtab")
+    m0 = b.mpy(None, v0, q0)
+    r0 = b.shr(None, m0, 15)
+    b.st(r0, "i", "work")
+    m1 = b.mpy(None, v1, q0)
+    r1 = b.shr(None, m1, 15)
+    b.st(r1, "i", "work")
+    b.add("i", "i", 8)
+    done = b.cmp(None, "i", TRIP)
+    b.br_loop(done, "fdct", trip=TRIP)
+    return b.build()
+
+
+def build_djpeg():
+    b = KernelBuilder("djpeg")
+    b.pattern("coef", kind="table", footprint=WORK_FOOTPRINT, align=2)
+    b.pattern("qtab", kind="table", footprint=QTAB_FOOTPRINT, align=2)
+    b.pattern("out", kind="stream", footprint=IMG_FOOTPRINT, stride=16,
+              align=1)
+    b.param("i")
+    b.live_out("i")
+
+    b.block("idct_col")
+    c0 = b.ld(None, "i", "coef")
+    c1 = b.ld(None, "i", "coef")
+    q0 = b.ld(None, "i", "qtab")
+    q1 = b.ld(None, "i", "qtab")
+    d0 = b.mpy(None, c0, q0)           # dequantize
+    d1 = b.mpy(None, c1, q1)
+    t0 = b.add(None, d0, d1)
+    t1 = b.sub(None, d0, d1)
+    z0 = b.mpy(None, t1, 5793)         # FIX(1.414213562)
+    z1 = b.shr(None, z0, 12)
+    o0 = b.add(None, t0, z1)
+    o1 = b.sub(None, t0, z1)
+    # range-limit and store the sample pair
+    l0 = b.max_(None, o0, 0)
+    l0 = b.min_(None, l0, 255)
+    l1 = b.max_(None, o1, 0)
+    l1 = b.min_(None, l1, 255)
+    b.st(l0, "i", "out")
+    b.st(l1, "i", "out")
+    b.add("i", "i", 4)
+    done = b.cmp(None, "i", TRIP)
+    b.br_loop(done, "idct_col", trip=TRIP)
+    return b.build()
+
+
+SPEC_CJPEG = KernelSpec(
+    name="cjpeg",
+    ilp_class="M",
+    description="JPEG Encoder (FDCT + quantization)",
+    paper_ipcr=1.12,
+    paper_ipcp=1.66,
+    build=build_cjpeg,
+    unroll={},
+)
+
+SPEC_DJPEG = KernelSpec(
+    name="djpeg",
+    ilp_class="M",
+    description="JPEG Decoder (dequantize + IDCT column)",
+    paper_ipcr=1.76,
+    paper_ipcp=1.77,
+    build=build_djpeg,
+    unroll={},
+)

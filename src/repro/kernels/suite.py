@@ -1,0 +1,56 @@
+"""The Table 1 benchmark suite registry."""
+
+from __future__ import annotations
+
+from repro.kernels.base import KernelSpec, compile_spec
+from repro.kernels.blowfish import SPEC as BLOWFISH
+from repro.kernels.bzip2 import SPEC as BZIP2
+from repro.kernels.colorspace import SPEC as COLORSPACE
+from repro.kernels.g721 import SPEC_DECODE as G721DECODE
+from repro.kernels.g721 import SPEC_ENCODE as G721ENCODE
+from repro.kernels.gsmencode import SPEC as GSMENCODE
+from repro.kernels.idct import SPEC as IDCT
+from repro.kernels.imgpipe import SPEC as IMGPIPE
+from repro.kernels.jpeg import SPEC_CJPEG as CJPEG
+from repro.kernels.jpeg import SPEC_DJPEG as DJPEG
+from repro.kernels.mcf import SPEC as MCF
+from repro.kernels.x264 import SPEC as X264
+
+__all__ = ["SUITE", "by_name", "by_class", "compile_suite"]
+
+#: Table 1 order.
+SUITE: tuple[KernelSpec, ...] = (
+    MCF,
+    BZIP2,
+    BLOWFISH,
+    GSMENCODE,
+    G721ENCODE,
+    G721DECODE,
+    CJPEG,
+    DJPEG,
+    IMGPIPE,
+    X264,
+    IDCT,
+    COLORSPACE,
+)
+
+_BY_NAME = {s.name: s for s in SUITE}
+
+
+def by_name(name: str) -> KernelSpec:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; suite: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def by_class(ilp_class: str) -> list[KernelSpec]:
+    """All benchmarks of one ILP class ('L', 'M' or 'H'), Table 1 order."""
+    return [s for s in SUITE if s.ilp_class == ilp_class]
+
+
+def compile_suite(machine, options=None) -> dict:
+    """Compile every benchmark; returns name -> VLIWProgram."""
+    return {s.name: compile_spec(s, machine, options) for s in SUITE}

@@ -1,0 +1,42 @@
+"""Shared kernel-authoring idioms."""
+
+from __future__ import annotations
+
+__all__ = ["sum_tree", "clamp", "unpack_bytes", "mac"]
+
+
+def sum_tree(b, values):
+    """Balanced-tree reduction (log-depth adds); returns the sum register."""
+    vals = list(values)
+    while len(vals) > 1:
+        nxt = []
+        for i in range(0, len(vals) - 1, 2):
+            nxt.append(b.add(None, vals[i], vals[i + 1]))
+        if len(vals) % 2:
+            nxt.append(vals[-1])
+        vals = nxt
+    return vals[0]
+
+
+def clamp(b, value, lo: int, hi: int):
+    """Saturate ``value`` to [lo, hi] with max/min ops."""
+    t = b.max_(None, value, lo)
+    return b.min_(None, t, hi)
+
+
+def unpack_bytes(b, word, n: int = 3):
+    """Extract ``n`` byte fields from a packed word (shr+and pairs)."""
+    out = []
+    for k in range(n):
+        if k == 0:
+            out.append(b.and_(None, word, 255))
+        else:
+            s = b.shr(None, word, 8 * k)
+            out.append(b.and_(None, s, 255))
+    return out
+
+
+def mac(b, acc, x, y):
+    """Multiply-accumulate; returns the new accumulator register."""
+    p = b.mpy(None, x, y)
+    return b.add(None, acc, p)

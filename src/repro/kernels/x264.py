@@ -1,0 +1,55 @@
+"""x264 - H.264 encoder motion-estimation SAD kernel (ILP class H).
+
+Sum-of-absolute-differences between the current macroblock (resident in
+the search buffer) and a candidate reference row (streaming).  Eight
+pixel lanes per iteration with four partial accumulators: wide, load-
+heavy, short chains - IPCp ~4 on the 16-issue machine, with a small
+cache gap from the reference stream (Table 1: 3.89 vs 4.04).
+"""
+
+from __future__ import annotations
+
+from repro.ir import KernelBuilder
+from repro.kernels.base import KernelSpec
+
+CUR_FOOTPRINT = 24 * 1024    # current macroblock: resident
+REF_FOOTPRINT = 32 * 1024    # search window: resident once fetched
+LANES = 8
+ACCS = 3
+UNROLL = 1
+TRIP = 2048
+
+
+def build():
+    b = KernelBuilder("x264")
+    b.pattern("cur", kind="table", footprint=CUR_FOOTPRINT, align=1)
+    b.pattern("ref", kind="table", footprint=REF_FOOTPRINT, align=1)
+    b.param("i")
+    for k in range(ACCS):
+        b.param(f"sad{k}")
+        b.live_out(f"sad{k}")
+    b.live_out("i")
+
+    b.block("sad_row")
+    for lane in range(LANES):
+        cpx = b.ld(None, "i", "cur")
+        rpx = b.ld(None, "i", "ref")
+        d = b.sub(None, cpx, rpx)
+        a = b.abs_(None, d)
+        acc = f"sad{lane % ACCS}"
+        b.add(acc, acc, a)
+    b.add("i", "i", LANES)
+    done = b.cmp(None, "i", TRIP)
+    b.br_loop(done, "sad_row", trip=TRIP)
+    return b.build()
+
+
+SPEC = KernelSpec(
+    name="x264",
+    ilp_class="H",
+    description="H.264 encoder (motion-estimation SAD)",
+    paper_ipcr=3.89,
+    paper_ipcp=4.04,
+    build=build,
+    unroll={"sad_row": UNROLL},
+)

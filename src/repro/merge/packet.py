@@ -1,0 +1,79 @@
+"""Execution packets and the two merge rules (SMT and CSMT).
+
+An :class:`ExecPacket` is what travels through the merge-control tree each
+cycle: one thread's VLIW instruction, or several already-merged ones.  The
+hardware only ever inspects two summaries (paper, Section 2):
+
+* CSMT: the cluster-usage bitmask - merge iff masks are disjoint;
+* SMT: per-cluster operation counts against the slot caps - merge iff the
+  sum fits (count-feasibility equals routability because each restricted
+  class owns dedicated slots).
+
+Both checks are O(1) here thanks to the SWAR-packed counts carried by
+:class:`~repro.isa.instruction.MultiOp`.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import high_mask, pack_caps, packed_fits
+
+__all__ = ["ExecPacket", "MergeRules"]
+
+
+class ExecPacket:
+    """A (possibly merged) issue packet.
+
+    Attributes:
+        mask: union of cluster-usage bitmasks.
+        packed: SWAR sum of per-cluster resource counts.
+        n_ops: total operations across merged threads.
+        ports: merge-tree port indices contributing to this packet, in
+            priority order (leftmost = highest priority).
+    """
+
+    __slots__ = ("mask", "packed", "n_ops", "ports")
+
+    def __init__(self, mask: int, packed: int, n_ops: int, ports: tuple):
+        self.mask = mask
+        self.packed = packed
+        self.n_ops = n_ops
+        self.ports = ports
+
+    @classmethod
+    def from_mop(cls, mop, port: int) -> "ExecPacket":
+        return cls(mop.mask, mop.packed, mop.n_ops, (port,))
+
+    def __repr__(self) -> str:
+        return f"<ExecPacket ports={self.ports} mask={self.mask:04b} ops={self.n_ops}>"
+
+
+class MergeRules:
+    """Merge predicates specialized for one machine's caps.
+
+    Centralizes the caps constants so the per-cycle checks are two integer
+    operations each.
+    """
+
+    __slots__ = ("caps_high", "high")
+
+    def __init__(self, machine):
+        self.high = high_mask(machine.n_clusters)
+        self.caps_high = pack_caps(machine.caps, machine.n_clusters) | self.high
+
+    def try_smt(self, a: ExecPacket, b: ExecPacket) -> ExecPacket | None:
+        """Operation-level merge: succeeds iff per-cluster sums fit caps."""
+        packed = a.packed + b.packed
+        if packed_fits(packed, self.caps_high, self.high):
+            return ExecPacket(a.mask | b.mask, packed, a.n_ops + b.n_ops,
+                              a.ports + b.ports)
+        return None
+
+    def try_csmt(self, a: ExecPacket, b: ExecPacket) -> ExecPacket | None:
+        """Cluster-level merge: succeeds iff cluster usage is disjoint."""
+        if a.mask & b.mask:
+            return None
+        return ExecPacket(a.mask | b.mask, a.packed + b.packed,
+                          a.n_ops + b.n_ops, a.ports + b.ports)
+
+    def try_merge(self, kind: str, a: ExecPacket, b: ExecPacket):
+        return self.try_smt(a, b) if kind == "S" else self.try_csmt(a, b)

@@ -1,0 +1,137 @@
+"""Parser for the paper's scheme naming convention.
+
+Grammar (paper, Section 4.1):
+
+* ``ST``     - single-thread baseline (no merging; one port).
+* ``1S``     - 2-thread SMT (one S block over P0, P1).
+* ``Ck``     - one k-input parallel CSMT block, e.g. ``C4``.
+* ``<n><tokens>`` where ``n`` is the number of cascade levels and each
+  token is ``S``, ``C`` or ``Ck``:
+
+  - **cascade** interpretation: the first token merges P0,P1 (or P0..Pk-1
+    for ``Ck``); each later token merges the accumulated packet with the
+    next port(s).  Example: ``3SCC`` = C(C(S(P0,P1),P2),P3); ``2SC3`` =
+    C3(S(P0,P1),P2,P3).
+  - **balanced-tree** interpretation (two plain tokens whose cascade
+    reading leaves ports uncovered): first token merges (P0,P1) and
+    (P2,P3) in parallel groups, second merges the two results.  Example:
+    ``2CS`` = S(C(P0,P1), C(P2,P3)).
+
+  The reading that covers exactly ``n_threads`` ports is chosen; every
+  paper name resolves unambiguously (``2SS`` is a tree - its cascade
+  reading covers only 3 ports - while ``2SC3`` is a cascade).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.merge.scheme import Leaf, Node, ParCsmt, Scheme
+
+__all__ = ["parse_scheme"]
+
+_TOKEN_RE = re.compile(r"([SC])(\d*)")
+
+
+def _tokenize(body: str):
+    """Split e.g. 'SC3' into [('S', 2), ('C', 3)] (width per token)."""
+    tokens = []
+    pos = 0
+    while pos < len(body):
+        m = _TOKEN_RE.match(body, pos)
+        if not m:
+            raise ValueError(f"bad scheme token at {body[pos:]!r}")
+        kind, width = m.group(1), m.group(2)
+        w = int(width) if width else 2
+        if w < 2:
+            raise ValueError(f"block width must be >= 2 in {body!r}")
+        if kind == "S" and w != 2:
+            raise ValueError("parallel SMT blocks are not implementable "
+                             "(paper, Section 4.1); only S2 exists")
+        tokens.append((kind, w))
+        pos = m.end()
+    return tokens
+
+
+def _block(kind: str, inputs: list):
+    """Build a merge node of the right flavour over ``inputs``."""
+    if kind == "C" and len(inputs) > 2:
+        return ParCsmt(inputs)
+    node = inputs[0]
+    for nxt in inputs[1:]:
+        node = Node(kind, node, nxt)
+    return node
+
+
+def _cascade(tokens, n_threads: int):
+    """Cascade interpretation; returns root or None if port count differs."""
+    first_kind, first_w = tokens[0]
+    used = first_w
+    if used > n_threads:
+        return None
+    root = _block(first_kind, [Leaf(i) for i in range(first_w)])
+    for kind, w in tokens[1:]:
+        extra = w - 1
+        if used + extra > n_threads:
+            return None
+        inputs = [root] + [Leaf(used + i) for i in range(extra)]
+        root = _block(kind, inputs)
+        used += extra
+    return root if used == n_threads else None
+
+
+def _tree(tokens, n_threads: int):
+    """Balanced-tree interpretation for two plain 2-input tokens."""
+    if len(tokens) != 2 or n_threads != 4:
+        return None
+    (k1, w1), (k2, w2) = tokens
+    if w1 != 2 or w2 != 2:
+        return None
+    left = Node(k1, Leaf(0), Leaf(1))
+    right = Node(k1, Leaf(2), Leaf(3))
+    return Node(k2, left, right)
+
+
+def parse_scheme(name: str, n_threads: int | None = None) -> Scheme:
+    """Parse a paper scheme name into a :class:`Scheme`.
+
+    ``n_threads`` is the port count the scheme must cover.  When omitted,
+    the paper's 4-thread convention is tried first (so ``2CS`` is the
+    Figure 8 tree, not a 3-thread cascade), then the cascade's natural
+    port count - which lets wider designs like ``7SCCCCCC`` or ``2SC7``
+    parse without an explicit count.  ``1S`` implies 2 ports, ``ST`` 1.
+    """
+    name = name.strip()
+    up = name.upper()
+    if up == "ST":
+        return Scheme("ST", Leaf(0))
+    if up == "1S":
+        return Scheme("1S", Node("S", Leaf(0), Leaf(1)))
+    m = re.fullmatch(r"C(\d+)", up)
+    if m:
+        w = int(m.group(1))
+        if w < 2:
+            raise ValueError(f"{name}: parallel block needs >= 2 threads")
+        return Scheme(up, ParCsmt([Leaf(i) for i in range(w)]))
+    m = re.fullmatch(r"(\d+)([SC0-9]+)", up)
+    if not m:
+        raise ValueError(f"cannot parse scheme name {name!r}")
+    levels, body = int(m.group(1)), m.group(2)
+    tokens = _tokenize(body)
+    if len(tokens) != levels:
+        raise ValueError(
+            f"{name}: {levels} levels declared but {len(tokens)} merge "
+            f"tokens given"
+        )
+    natural = tokens[0][1] + sum(w - 1 for _k, w in tokens[1:])
+    candidates = (n_threads,) if n_threads is not None else (4, natural)
+    for nt in candidates:
+        root = _cascade(tokens, nt)
+        if root is None:
+            root = _tree(tokens, nt)
+        if root is not None:
+            return Scheme(up, root)
+    raise ValueError(
+        f"{name}: no interpretation covers "
+        f"{n_threads if n_threads is not None else candidates} threads"
+    )

@@ -1,0 +1,96 @@
+"""The paper's scheme catalogue and its published groupings.
+
+Everything the evaluation section enumerates lives here so experiments,
+tests and docs agree on one source of truth:
+
+* :data:`PAPER_SCHEMES` - the 16 schemes of Figures 8/9/10.
+* :data:`SEMANTIC_EQUIV` - schemes that are cycle-for-cycle identical
+  because parallel CSMT blocks are functionally equivalent to their
+  serial cascades (paper, Sections 3 and 5.2).
+* :data:`FIG10_GROUPS` - the performance groups the paper plots together
+  (members differ by <1% in the paper's runs).
+* :func:`distinct_semantics` - minimal set of schemes to simulate.
+"""
+
+from __future__ import annotations
+
+from repro.merge.parser import parse_scheme
+from repro.merge.scheme import Scheme
+
+__all__ = [
+    "BASELINES",
+    "FIG10_GROUPS",
+    "PAPER_SCHEMES",
+    "SEMANTIC_EQUIV",
+    "canonical",
+    "distinct_semantics",
+    "get_scheme",
+    "scheme_family",
+]
+
+#: The fifteen 4-thread schemes of Figure 8 (Figure 9's x-axis order).
+PAPER_SCHEMES = [
+    "C4", "3CCC", "2CC", "2SC3", "3CSC", "2C3S", "3CCS",
+    "3SCC", "2CS", "2SC", "3SSC", "3SCS", "3CSS", "2SS", "3SSS",
+]
+
+#: Reference points the paper's figures also plot.
+BASELINES = ["ST", "1S"]
+
+#: Parallel-CSMT schemes and their serial-cascade equivalents.
+SEMANTIC_EQUIV = {
+    "C4": "3CCC",
+    "2SC3": "3SCC",
+    "2C3S": "3CCS",
+}
+
+#: The groups plotted together in Figure 10 (order: worst to best).
+FIG10_GROUPS = [
+    ("1S",),
+    ("2SC",),
+    ("2CC",),
+    ("3CCC", "C4"),
+    ("2CS",),
+    ("2SC3", "2C3S", "3CCS", "3CSC", "3SCC"),
+    ("2SS",),
+    ("3CSS", "3SSC", "3SCS"),
+    ("3SSS",),
+]
+
+_CACHE: dict = {}
+
+
+def get_scheme(name: str) -> Scheme:
+    """Parsed scheme by name (cached); accepts 'ST' and '1S' too."""
+    key = name.upper()
+    if key not in _CACHE:
+        _CACHE[key] = parse_scheme(key)
+    return _CACHE[key]
+
+
+def canonical(name: str) -> str:
+    """The semantically equivalent cascade name for simulation."""
+    return SEMANTIC_EQUIV.get(name.upper(), name.upper())
+
+
+def distinct_semantics(schemes=None) -> dict:
+    """Map canonical scheme name -> list of paper names it covers.
+
+    Simulating only the canonical members is exact, not an approximation:
+    parallel blocks select identically to their serial cascades.
+    """
+    schemes = schemes or PAPER_SCHEMES
+    out: dict[str, list[str]] = {}
+    for s in schemes:
+        out.setdefault(canonical(s), []).append(s.upper())
+    return out
+
+
+def scheme_family(name: str) -> str:
+    """Coarse family used in reports: 'pure-CSMT', 'pure-SMT' or 'hybrid'."""
+    counts = get_scheme(name).count_blocks()
+    if counts["S"] == 0:
+        return "pure-CSMT"
+    if counts["C"] == 0 and counts["parC"] == 0:
+        return "pure-SMT"
+    return "hybrid"

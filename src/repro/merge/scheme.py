@@ -1,0 +1,223 @@
+"""Merging-scheme ASTs and their per-cycle selection semantics.
+
+A scheme is a tree over leaf ports ``P0..P(n-1)`` built from three node
+kinds (paper, Section 4.1):
+
+* ``Node('S', l, r)``  - a 2-input SMT merge-control block,
+* ``Node('C', l, r)``  - a 2-input CSMT merge-control block,
+* ``ParCsmt([c...])``  - a k-input *parallel* CSMT block (the paper's
+  C3/C4 subscripts).  Functionally equivalent to the left-deep ``C``
+  cascade of its inputs (paper, Section 3) - the difference is hardware
+  cost, which :mod:`repro.cost` models.
+
+Selection semantics per cycle: a node whose one input is invalid (thread
+stalled / no instruction) passes the other through; with two valid inputs
+it emits the merged packet on success, otherwise its **left** input - the
+higher-priority side, which in a cascade carries the leading thread.
+This models hardware that commits each level's decision and never
+backtracks (the source of the tree schemes' loss the paper describes).
+"""
+
+from __future__ import annotations
+
+from repro.merge.packet import ExecPacket, MergeRules
+
+__all__ = ["Leaf", "Node", "ParCsmt", "Scheme"]
+
+
+class Leaf:
+    """A thread input port."""
+
+    __slots__ = ("port",)
+    kind = "leaf"
+
+    def __init__(self, port: int):
+        self.port = port
+
+    def eval(self, ports, rules):
+        return ports[self.port]
+
+    def leaves(self):
+        return (self.port,)
+
+    def __repr__(self) -> str:
+        return f"P{self.port}"
+
+
+class Node:
+    """A 2-input merge block (kind 'S' or 'C')."""
+
+    __slots__ = ("merge_kind", "left", "right")
+    kind = "node"
+
+    def __init__(self, merge_kind: str, left, right):
+        if merge_kind not in ("S", "C"):
+            raise ValueError(f"merge kind must be 'S' or 'C', got {merge_kind!r}")
+        self.merge_kind = merge_kind
+        self.left = left
+        self.right = right
+
+    def eval(self, ports, rules: MergeRules):
+        a = self.left.eval(ports, rules)
+        b = self.right.eval(ports, rules)
+        if a is None:
+            return b
+        if b is None:
+            return a
+        merged = rules.try_merge(self.merge_kind, a, b)
+        return merged if merged is not None else a
+
+    def leaves(self):
+        return self.left.leaves() + self.right.leaves()
+
+    def __repr__(self) -> str:
+        return f"{self.merge_kind}({self.left!r},{self.right!r})"
+
+
+class ParCsmt:
+    """A k-input parallel CSMT block (functionally a left-deep C cascade)."""
+
+    __slots__ = ("children",)
+    kind = "parc"
+
+    def __init__(self, children):
+        if len(children) < 2:
+            raise ValueError("parallel CSMT block needs >= 2 inputs")
+        self.children = tuple(children)
+
+    def eval(self, ports, rules: MergeRules):
+        acc = None
+        for ch in self.children:
+            p = ch.eval(ports, rules)
+            if p is None:
+                continue
+            if acc is None:
+                acc = p
+                continue
+            merged = rules.try_csmt(acc, p)
+            if merged is not None:
+                acc = merged
+        return acc
+
+    def leaves(self):
+        out = ()
+        for ch in self.children:
+            out += ch.leaves()
+        return out
+
+    @property
+    def width(self) -> int:
+        return len(self.children)
+
+    def __repr__(self) -> str:
+        return "C%d(%s)" % (len(self.children), ",".join(repr(c) for c in self.children))
+
+
+class Scheme:
+    """A named merging scheme bound to a port count.
+
+    ``select`` is the per-cycle entry point: given one optional
+    :class:`ExecPacket` per port it returns the packet that issues this
+    cycle (or None when every thread is stalled).
+
+    ``port_permutations`` gives the leading-thread rotation schedule the
+    core cycles through for fairness.  Cascades rotate the thread-to-port
+    binding freely (input order *is* priority).  Balanced trees are wired:
+    pairs are fixed in silicon, so only structure-preserving permutations
+    rotate (swap within pairs / swap the pairs) - re-pairing threads every
+    cycle would overstate tree schemes substantially.
+    """
+
+    def __init__(self, name: str, root):
+        self.name = name
+        self.root = root
+        ls = root.leaves()
+        if sorted(ls) != list(range(len(ls))):
+            raise ValueError(
+                f"scheme {name!r} must cover ports 0..{len(ls) - 1} exactly "
+                f"once, got {ls}"
+            )
+        self.n_ports = len(ls)
+        self._perms = self._rotation_schedule()
+
+    def select(self, ports, rules: MergeRules) -> ExecPacket | None:
+        return self.root.eval(ports, rules)
+
+    def _is_balanced_tree(self) -> bool:
+        r = self.root
+        return (
+            r.kind == "node"
+            and getattr(r.left, "kind", None) == "node"
+            and getattr(r.right, "kind", None) == "node"
+            and all(ch.kind == "leaf"
+                    for ch in (r.left.left, r.left.right,
+                               r.right.left, r.right.right))
+        )
+
+    def _rotation_schedule(self):
+        n = self.n_ports
+        if n == 1:
+            return ((0,),)
+        if self._is_balanced_tree():
+            # automorphisms of the {P0,P1}{P2,P3} wiring that cycle the
+            # leading thread through all four contexts
+            return ((0, 1, 2, 3), (1, 0, 3, 2), (2, 3, 0, 1), (3, 2, 1, 0))
+        return tuple(
+            tuple((p + r) % n for p in range(n)) for r in range(n)
+        )
+
+    def port_permutations(self):
+        """Rotation schedule: ``perm[p]`` = context bound to port ``p``."""
+        return self._perms
+
+    def diagram(self) -> str:
+        """ASCII rendering of the merge tree (Figure 8 style)::
+
+            C ── C ── S ── P0
+            |    |    └ P1
+            |    └ P2
+            └ P3
+        """
+        lines: list[str] = []
+
+        def walk(node, prefix: str, tail: str) -> None:
+            if node.kind == "leaf":
+                lines.append(f"{prefix}{tail}P{node.port}")
+                return
+            if node.kind == "parc":
+                label = f"C{len(node.children)}"
+                kids = node.children
+            else:
+                label = node.merge_kind
+                kids = (node.left, node.right)
+            lines.append(f"{prefix}{tail}{label}")
+            child_prefix = prefix + ("|  " if tail == "+- " else "   ")
+            for i, ch in enumerate(kids):
+                walk(ch, child_prefix if tail else prefix,
+                     "+- " if i < len(kids) - 1 else "`- ")
+
+        walk(self.root, "", "")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # structural queries (used by the cost model and reports)
+    # ------------------------------------------------------------------
+    def count_blocks(self) -> dict:
+        """Number of S blocks, 2-input C blocks and parallel C blocks."""
+        counts = {"S": 0, "C": 0, "parC": 0}
+
+        def walk(node):
+            if node.kind == "node":
+                counts[node.merge_kind] += 1
+                walk(node.left)
+                walk(node.right)
+            elif node.kind == "parc":
+                counts["parC"] += 1
+                for ch in node.children:
+                    walk(ch)
+
+        walk(self.root)
+        return counts
+
+    def __repr__(self) -> str:
+        return f"<Scheme {self.name}: {self.root!r}>"

@@ -1,0 +1,22 @@
+"""Cycle-level multithreaded clustered-VLIW simulator."""
+
+from repro.sim.cache import Cache, CacheConfig, PerfectCache, make_cache
+from repro.sim.config import SimConfig, run_workload
+from repro.sim.core import MTCore
+from repro.sim.os_sched import Multitasker, RunResult
+from repro.sim.stats import SimStats
+from repro.sim.thread import ThreadState
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "MTCore",
+    "Multitasker",
+    "PerfectCache",
+    "RunResult",
+    "SimConfig",
+    "SimStats",
+    "ThreadState",
+    "make_cache",
+    "run_workload",
+]

@@ -1,0 +1,66 @@
+"""Simulation statistics.
+
+IPC follows the paper's definition: useful operations issued per cycle,
+machine-wide (Table 1 reports up to 8.88 on the 16-issue machine, so the
+unit is operations, not instruction words).  Vertical waste counts cycles
+where no thread issued; horizontal waste is unfilled issue slots on
+issuing cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimStats"]
+
+
+@dataclass
+class SimStats:
+    """Counters accumulated by one simulation run."""
+
+    cycles: int = 0
+    ops: int = 0
+    instrs: int = 0
+    vertical_waste: int = 0
+    #: histogram: number of threads co-issued -> cycles
+    merged_hist: dict = field(default_factory=dict)
+    context_switches: int = 0
+
+    def record_issue(self, n_threads: int, n_ops: int, n_instrs: int) -> None:
+        self.ops += n_ops
+        self.instrs += n_instrs
+        self.merged_hist[n_threads] = self.merged_hist.get(n_threads, 0) + 1
+
+    @property
+    def ipc(self) -> float:
+        """Operations per cycle (the paper's IPC)."""
+        return self.ops / self.cycles if self.cycles else 0.0
+
+    def avg_threads_per_cycle(self) -> float:
+        issued = sum(self.merged_hist.values())
+        if not issued:
+            return 0.0
+        return sum(k * v for k, v in self.merged_hist.items()) / issued
+
+    def horizontal_waste(self, issue_width: int) -> float:
+        """Fraction of issue slots unused on cycles that did issue."""
+        issued_cycles = self.cycles - self.vertical_waste
+        if issued_cycles <= 0:
+            return 0.0
+        return 1.0 - self.ops / (issued_cycles * issue_width)
+
+    def summary(self, issue_width: int | None = None) -> dict:
+        out = {
+            "cycles": self.cycles,
+            "ops": self.ops,
+            "instrs": self.instrs,
+            "ipc": round(self.ipc, 4),
+            "vertical_waste_frac": round(
+                self.vertical_waste / self.cycles, 4) if self.cycles else 0.0,
+            "avg_threads_per_issue_cycle": round(self.avg_threads_per_cycle(), 3),
+            "context_switches": self.context_switches,
+        }
+        if issue_width:
+            out["horizontal_waste_frac"] = round(
+                self.horizontal_waste(issue_width), 4)
+        return out

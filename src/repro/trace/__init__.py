@@ -1,0 +1,6 @@
+"""Dynamic trace generation from compiled programs."""
+
+from repro.trace.addrgen import AddressGenerator, make_generator
+from repro.trace.stream import Fetch, InstructionStream
+
+__all__ = ["AddressGenerator", "Fetch", "InstructionStream", "make_generator"]

@@ -1,0 +1,99 @@
+"""Dynamic instruction streams.
+
+A stream walks a compiled :class:`~repro.compiler.program.VLIWProgram`'s
+control flow forever (kernels restart when they fall off the end, exactly
+like the paper's benchmarks running 100M instructions) and yields one
+:class:`Fetch` per VLIW instruction: the static MultiOp plus this
+execution's branch outcome and memory addresses.
+
+Branch outcomes:
+
+* ``loop`` branches count executions modulo their trip count - taken
+  ``trip-1`` times, then not taken - which is entry-point agnostic and
+  therefore correct for loops re-entered from outer loops;
+* ``bernoulli`` branches sample their taken probability from the
+  thread-private seeded RNG (deterministic per seed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.trace.addrgen import make_generator
+
+__all__ = ["Fetch", "InstructionStream"]
+
+
+@dataclass(frozen=True)
+class Fetch:
+    """One dynamically fetched VLIW instruction."""
+
+    mop: object
+    taken: bool
+    addrs: tuple
+    #: BranchInfo of the contained branch, or None
+    branch: object
+
+
+class InstructionStream:
+    """Restartable, deterministic instruction stream for one thread."""
+
+    def __init__(self, program, thread_id: int, seed: int = 0):
+        self.program = program
+        self.thread_id = thread_id
+        self.rng = random.Random((seed << 20) ^ (thread_id * 0x9E3779B9))
+        self.gens = [
+            make_generator(p, thread_id, i, self.rng)
+            for i, p in enumerate(program.patterns)
+        ]
+        self._counters: dict[int, int] = {}
+        self._iter = self._walk()
+
+    def __iter__(self):
+        return self._iter
+
+    def __next__(self) -> Fetch:
+        return next(self._iter)
+
+    def _take_loop(self, block_idx: int, trip: int) -> bool:
+        c = self._counters.get(block_idx, trip)
+        c -= 1
+        if c <= 0:
+            self._counters[block_idx] = trip
+            return False
+        self._counters[block_idx] = c
+        return True
+
+    def _walk(self):
+        program = self.program
+        blocks = program.blocks
+        gens = self.gens
+        rng_random = self.rng.random
+        while True:  # kernel restarts forever
+            bi = 0
+            while bi < len(blocks):
+                blk = blocks[bi]
+                redirect = None
+                branches = blk.branches
+                for idx, mop in enumerate(blk.mops):
+                    if mop.mem_ops:
+                        addrs = tuple(
+                            gens[op.pattern].next_address()
+                            for op in mop.mem_ops
+                        )
+                    else:
+                        addrs = ()
+                    br = branches[idx]
+                    taken = False
+                    if br is not None:
+                        beh = br.behavior
+                        if beh.kind == "loop":
+                            taken = self._take_loop(bi, beh.trip)
+                        else:
+                            taken = beh.prob >= 1.0 or rng_random() < beh.prob
+                    yield Fetch(mop, taken, addrs, br)
+                    if taken:
+                        redirect = br.target
+                        break
+                bi = redirect if redirect is not None else bi + 1

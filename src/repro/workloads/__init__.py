@@ -1,0 +1,12 @@
+"""Workload configurations (Table 2) and workload synthesis."""
+
+from repro.workloads.generator import all_class_combos, make_workload
+from repro.workloads.table2 import TABLE2, WORKLOAD_ORDER, workload_programs
+
+__all__ = [
+    "TABLE2",
+    "WORKLOAD_ORDER",
+    "all_class_combos",
+    "make_workload",
+    "workload_programs",
+]

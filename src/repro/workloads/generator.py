@@ -1,0 +1,67 @@
+"""Workload synthesis beyond Table 2.
+
+The paper combines benchmarks by ILP class ("representative
+combinations"); this generator builds arbitrary class-combination
+workloads (e.g. ``"LLMH"``) by sampling benchmarks of each class, for
+sensitivity studies and tests that need workloads the paper didn't list.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.kernels import by_class, by_name, compile_spec
+
+__all__ = ["make_workload", "all_class_combos"]
+
+
+def make_workload(combo: str, machine, seed: int = 0, options=None,
+                  allow_repeats: bool = False) -> list:
+    """Compile a workload matching an ILP-class combination string.
+
+    Args:
+        combo: e.g. ``"LLHH"`` - one letter (L/M/H) per thread.
+        machine: target machine.
+        seed: benchmark-sampling seed (deterministic).
+        options: compiler options.
+        allow_repeats: permit the same benchmark twice for a class letter
+            (needed for combos like ``"LLLLL"`` with only 4 L benchmarks).
+    """
+    rng = random.Random(seed)
+    pools: dict[str, list] = {}
+    programs = []
+    for letter in combo.upper():
+        if letter not in "LMH":
+            raise ValueError(f"bad class letter {letter!r} in {combo!r}")
+        if letter not in pools:
+            pool = [s.name for s in by_class(letter)]
+            rng.shuffle(pool)
+            pools[letter] = pool
+        pool = pools[letter]
+        if allow_repeats:
+            name = rng.choice(pool)
+        else:
+            if not pool:
+                raise ValueError(
+                    f"class {letter} exhausted for combo {combo!r}; "
+                    f"set allow_repeats=True"
+                )
+            name = pool.pop()
+        programs.append(compile_spec(by_name(name), machine, options))
+    return programs
+
+
+def all_class_combos(n_threads: int = 4) -> list[str]:
+    """Every sorted class combination of ``n_threads`` threads."""
+    letters = "LMH"
+    combos: set[str] = set()
+
+    def rec(prefix: str, start: int):
+        if len(prefix) == n_threads:
+            combos.add(prefix)
+            return
+        for i in range(start, len(letters)):
+            rec(prefix + letters[i], i)
+
+    rec("", 0)
+    return sorted(combos)

@@ -1,0 +1,36 @@
+"""Table 2: the paper's nine 4-thread workload configurations."""
+
+from __future__ import annotations
+
+from repro.kernels import by_name, compile_spec
+
+__all__ = ["TABLE2", "WORKLOAD_ORDER", "workload_programs"]
+
+#: workload name -> (thread0, thread1, thread2, thread3), Table 2 verbatim.
+TABLE2: dict[str, tuple[str, str, str, str]] = {
+    "LLLL": ("mcf", "bzip2", "blowfish", "gsmencode"),
+    "LMMH": ("bzip2", "cjpeg", "djpeg", "imgpipe"),
+    "MMMM": ("g721encode", "g721decode", "cjpeg", "djpeg"),
+    "LLMM": ("gsmencode", "blowfish", "g721encode", "djpeg"),
+    "LLMH": ("mcf", "blowfish", "cjpeg", "x264"),
+    "LLHH": ("mcf", "blowfish", "x264", "idct"),
+    "LMHH": ("gsmencode", "g721encode", "imgpipe", "colorspace"),
+    "MMHH": ("djpeg", "g721decode", "idct", "colorspace"),
+    "HHHH": ("x264", "idct", "imgpipe", "colorspace"),
+}
+
+#: the paper's figure x-axis order (Figures 6 and 10).
+WORKLOAD_ORDER = (
+    "LLLL", "LMMH", "MMMM", "LLHH", "LLMM", "LLMH", "LMHH", "MMHH", "HHHH",
+)
+
+
+def workload_programs(name: str, machine, options=None) -> list:
+    """Compiled programs for one Table 2 workload (thread order kept)."""
+    try:
+        benches = TABLE2[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; Table 2 defines {sorted(TABLE2)}"
+        ) from None
+    return [compile_spec(by_name(b), machine, options) for b in benches]

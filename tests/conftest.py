@@ -1,0 +1,121 @@
+"""Shared fixtures: machines, mini-kernels, packet builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import paper_machine, small_machine
+from repro.compiler import compile_kernel
+from repro.ir import KernelBuilder
+from repro.isa import MultiOp, OPCODES, Operation
+from repro.merge.packet import ExecPacket, MergeRules
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return paper_machine()
+
+
+@pytest.fixture(scope="session")
+def mini_machine():
+    return small_machine()
+
+
+@pytest.fixture(scope="session")
+def rules(machine):
+    return MergeRules(machine)
+
+
+def build_saxpy(trip: int = 256):
+    """A small well-understood kernel used across compiler/sim tests."""
+    b = KernelBuilder("saxpy")
+    b.pattern("x", kind="stream", footprint=1 << 18, stride=4)
+    b.pattern("y", kind="stream", footprint=1 << 18, stride=4)
+    b.param("i", "a")
+    b.live_out("i")
+    b.block("loop")
+    x = b.ld(None, "i", "x")
+    p = b.mpy(None, x, "a")
+    y = b.ld(None, "i", "y")
+    s = b.add(None, p, y)
+    b.st(s, "i", "y")
+    b.add("i", "i", 4)
+    c = b.cmp(None, "i", 4 * trip)
+    b.br_loop(c, "loop", trip=trip)
+    return b.build()
+
+
+def build_serial(trip: int = 128):
+    """A strictly serial one-cluster kernel (dependence chain)."""
+    b = KernelBuilder("serial")
+    b.pattern("t", kind="table", footprint=4096)
+    b.param("acc", "i")
+    b.live_out("acc", "i")
+    b.block("loop")
+    v = b.ld(None, "acc", "t")
+    w = b.add(None, v, 1)
+    x = b.xor(None, w, 7)
+    b.add("acc", x, 3)
+    b.add("i", "i", 1)
+    c = b.cmp(None, "i", trip)
+    b.br_loop(c, "loop", trip=trip)
+    return b.build()
+
+
+def build_wide(trip: int = 128, lanes: int = 8):
+    """A wide embarrassingly parallel kernel (fills all clusters)."""
+    b = KernelBuilder("wide")
+    b.pattern("d", kind="table", footprint=8192)
+    b.param("i")
+    b.live_out("i")
+    b.block("loop")
+    for k in range(lanes):
+        v = b.ld(None, "i", "d")
+        w = b.mpy(None, v, 3 + k)
+        x = b.add(None, w, k)
+        b.st(x, "i", "d")
+    b.add("i", "i", 1)
+    c = b.cmp(None, "i", trip)
+    b.br_loop(c, "loop", trip=trip)
+    return b.build()
+
+
+@pytest.fixture(scope="session")
+def saxpy_prog(machine):
+    return compile_kernel(build_saxpy(), machine, unroll_hints={"loop": 4})
+
+
+@pytest.fixture(scope="session")
+def serial_prog(machine):
+    return compile_kernel(build_serial(), machine)
+
+
+@pytest.fixture(scope="session")
+def wide_prog(machine):
+    return compile_kernel(build_wide(), machine, unroll_hints={"loop": 2})
+
+
+def mop_from_counts(machine, cluster_ops: dict) -> MultiOp:
+    """Construct a MultiOp from {cluster: (n_alu, n_mem, n_mul, n_br)}."""
+    ops = []
+    spec = machine.cluster
+    for cluster, (n_alu, n_mem, n_mul, n_br) in cluster_ops.items():
+        slots = iter(spec.slots_for(OPCODES["ld"].op_class))
+        for _ in range(n_mem):
+            ops.append(Operation(OPCODES["ld"], cluster, next(slots), dest=0))
+        slots = iter(spec.slots_for(OPCODES["br"].op_class))
+        for _ in range(n_br):
+            ops.append(Operation(OPCODES["br"], cluster, next(slots)))
+        slots = iter(spec.slots_for(OPCODES["mpy"].op_class))
+        for _ in range(n_mul):
+            ops.append(Operation(OPCODES["mpy"], cluster, next(slots), dest=1))
+        used = {(o.cluster, o.slot) for o in ops}
+        free = (s for s in range(spec.issue_width)
+                if (cluster, s) not in used)
+        for _ in range(n_alu):
+            ops.append(Operation(OPCODES["add"], cluster, next(free), dest=2))
+    return MultiOp(tuple(ops), machine.n_clusters)
+
+
+def packet(machine, cluster_ops: dict, port: int = 0) -> ExecPacket:
+    return ExecPacket.from_mop(mop_from_counts(machine, cluster_ops), port)

@@ -1,0 +1,83 @@
+"""Machine-description tests."""
+
+import pytest
+
+from repro.arch import ClusterSpec, Machine, paper_machine, small_machine, wide_machine
+from repro.isa import OpClass
+
+
+class TestClusterSpec:
+    def test_paper_defaults(self):
+        c = ClusterSpec()
+        assert c.issue_width == 4
+        assert c.caps == (4, 1, 2, 1)
+
+    def test_mem_slot_is_slot0(self):
+        assert ClusterSpec().slots_for(OpClass.MEM) == (0,)
+
+    def test_branch_slot_is_slot1(self):
+        assert ClusterSpec().slots_for(OpClass.BR) == (1,)
+
+    def test_mul_slots_are_top_slots(self):
+        assert ClusterSpec().slots_for(OpClass.MUL) == (2, 3)
+
+    def test_alu_any_slot(self):
+        assert ClusterSpec().slots_for(OpClass.ALU) == (0, 1, 2, 3)
+
+    def test_copy_any_slot(self):
+        assert ClusterSpec().slots_for(OpClass.COPY) == (0, 1, 2, 3)
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(issue_width=0)
+
+    def test_rejects_too_many_units(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(issue_width=2, n_mem=3)
+
+    def test_rejects_mem_branch_overlap(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(issue_width=2, n_mem=2, n_br=1)
+
+    def test_narrow_cluster_slots(self):
+        c = ClusterSpec(issue_width=2, n_mem=1, n_mul=1, n_br=1)
+        assert c.slots_for(OpClass.MEM) == (0,)
+        assert c.slots_for(OpClass.BR) == (1,)
+        assert c.slots_for(OpClass.MUL) == (1,)
+
+
+class TestMachine:
+    def test_paper_machine_geometry(self):
+        m = paper_machine()
+        assert m.n_clusters == 4
+        assert m.total_issue_width == 16
+        assert m.caps == (4, 1, 2, 1)
+
+    def test_paper_latencies(self):
+        m = paper_machine()
+        assert m.latency_of(OpClass.MEM) == 2
+        assert m.latency_of(OpClass.MUL) == 2
+        assert m.latency_of(OpClass.ALU) == 1
+        assert m.taken_branch_penalty == 2
+
+    def test_rejects_no_clusters(self):
+        with pytest.raises(ValueError):
+            Machine(n_clusters=0)
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ValueError):
+            Machine(taken_branch_penalty=-1)
+
+    def test_rejects_missing_latency(self):
+        with pytest.raises(ValueError):
+            Machine(latency={OpClass.ALU: 1})
+
+    def test_describe_mentions_geometry(self):
+        assert "4 clusters x 4-issue" in paper_machine().describe()
+
+    def test_presets_distinct(self):
+        names = {paper_machine().name, small_machine().name, wide_machine().name}
+        assert len(names) == 3
+
+    def test_wide_machine(self):
+        assert wide_machine().total_issue_width == 32

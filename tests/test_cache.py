@@ -1,0 +1,120 @@
+"""Cache model tests: geometry, LRU, sharing, perfect cache."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.cache import Cache, CacheConfig, PerfectCache, make_cache
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        c = CacheConfig()
+        assert c.size == 64 * 1024
+        assert c.assoc == 4
+        assert c.miss_penalty == 20
+        assert c.n_sets == 256
+
+    def test_rejects_non_pow2_line(self):
+        with pytest.raises(ValueError):
+            CacheConfig(line=48)
+
+    def test_rejects_mismatched_size(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=1000, assoc=4, line=64)
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ValueError):
+            CacheConfig(miss_penalty=-1)
+
+
+class TestCacheBehavior:
+    def _tiny(self):
+        # 2 sets x 2 ways x 64B lines = 256B
+        return Cache(CacheConfig(size=256, assoc=2, line=64, miss_penalty=20))
+
+    def test_cold_miss_then_hit(self):
+        c = self._tiny()
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert c.access(63) is True    # same line
+        assert c.access(64) is False   # next line, other set
+
+    def test_lru_eviction(self):
+        c = self._tiny()
+        # set 0 holds lines 0, 2, 4 ... (line index even)
+        c.access(0)        # line 0
+        c.access(256)      # line 4, same set
+        c.access(512)      # line 8 -> evicts line 0
+        assert c.access(0) is False
+
+    def test_lru_refresh_on_hit(self):
+        c = self._tiny()
+        c.access(0)
+        c.access(256)
+        c.access(0)        # refresh line 0: now 256 is LRU
+        c.access(512)      # evicts 256
+        assert c.access(0) is True
+        assert c.access(256) is False
+
+    def test_counters(self):
+        c = self._tiny()
+        c.access(0)
+        c.access(0)
+        c.access(64)
+        assert c.misses == 2 and c.hits == 1
+        assert c.accesses == 3
+        assert abs(c.miss_rate() - 2 / 3) < 1e-9
+
+    def test_flush(self):
+        c = self._tiny()
+        c.access(0)
+        c.flush()
+        assert c.access(0) is False
+
+    def test_capacity_working_set_resident(self):
+        cfg = CacheConfig(size=4096, assoc=4, line=64, miss_penalty=20)
+        c = Cache(cfg)
+        addrs = list(range(0, 4096, 64))
+        for a in addrs:
+            c.access(a)
+        for a in addrs:
+            assert c.access(a) is True
+
+    def test_thrashing_footprint_misses(self):
+        cfg = CacheConfig(size=1024, assoc=2, line=64, miss_penalty=20)
+        c = Cache(cfg)
+        addrs = list(range(0, 4096, 64))  # 4x capacity, sequential
+        for _ in range(3):
+            for a in addrs:
+                c.access(a)
+        assert c.miss_rate() > 0.9
+
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=300))
+    def test_miss_then_immediate_hit(self, addrs):
+        c = Cache(CacheConfig(size=1024, assoc=2, line=64))
+        for a in addrs:
+            c.access(a)
+            assert c.access(a) is True
+
+    @given(st.lists(st.integers(0, 1 << 14), min_size=1, max_size=200))
+    def test_way_occupancy_bounded(self, addrs):
+        cfg = CacheConfig(size=512, assoc=2, line=64)
+        c = Cache(cfg)
+        for a in addrs:
+            c.access(a)
+        for ways in c.sets:
+            assert len(ways) <= cfg.assoc
+            assert len(set(ways)) == len(ways)
+
+
+class TestPerfectCache:
+    def test_always_hits(self):
+        c = PerfectCache()
+        assert c.access(12345) is True
+        assert c.miss_penalty == 0
+        assert c.miss_rate() == 0.0
+
+    def test_factory(self):
+        assert isinstance(make_cache(None, perfect=True), PerfectCache)
+        assert isinstance(make_cache(CacheConfig()), Cache)

@@ -1,0 +1,151 @@
+"""BUG cluster assignment and inter-cluster copy insertion."""
+
+from repro.arch import paper_machine
+from repro.compiler.cluster import assign_clusters, insert_copies
+from repro.compiler.ddg import build_ddg
+from repro.ir import KernelBuilder
+
+MACHINE = paper_machine()
+
+
+def _lat(op):
+    return MACHINE.latency_of(op.opcode.op_class)
+
+
+def _prep(build):
+    b = KernelBuilder("k")
+    b.pattern("p", "table", 4096)
+    b.param("i", "j")
+    b.block("main")
+    build(b)
+    ops = list(b.build().blocks[0].ops)
+    return ops, build_ddg(ops, _lat, frozenset())
+
+
+class TestPolicies:
+    def test_single_puts_everything_on_cluster0(self):
+        ops, ddg = _prep(lambda b: [b.add(None, "i", k) for k in range(6)])
+        assert assign_clusters(ops, ddg, MACHINE, "single") == [0] * 6
+
+    def test_roundrobin_cycles(self):
+        ops, ddg = _prep(lambda b: [b.add(None, "i", k) for k in range(6)])
+        assert assign_clusters(ops, ddg, MACHINE, "roundrobin") == \
+            [0, 1, 2, 3, 0, 1]
+
+    def test_unknown_policy_rejected(self):
+        import pytest
+        ops, ddg = _prep(lambda b: [b.add(None, "i", 1)])
+        with pytest.raises(ValueError):
+            assign_clusters(ops, ddg, MACHINE, "magic")
+
+
+class TestBUG:
+    def test_dependent_chain_stays_on_one_cluster(self):
+        def build(b):
+            x = b.add(None, "i", 1)
+            y = b.add(None, x, 1)
+            z = b.add(None, y, 1)
+            b.add(None, z, 1)
+        ops, ddg = _prep(build)
+        cl = assign_clusters(ops, ddg, MACHINE, "bug")
+        assert len(set(cl)) == 1  # no reason to pay a transfer
+
+    def test_independent_chains_spread(self):
+        def build(b):
+            for k in range(4):
+                v = b.ld(None, "i", "p")
+                w = b.mpy(None, v, k + 2)
+                b.add(None, w, 1)
+        ops, ddg = _prep(build)
+        cl = assign_clusters(ops, ddg, MACHINE, "bug")
+        # four independent load-bound chains: one per cluster
+        load_clusters = {cl[i] for i, op in enumerate(ops) if op.is_mem}
+        assert len(load_clusters) == 4
+
+    def test_redefinitions_join_first_definition(self):
+        def build(b):
+            b.add("x", "i", 1)
+            for k in range(8):
+                b.add(None, "j", k)  # load-balancing noise
+            b.add("x", "x", 2)
+        ops, ddg = _prep(build)
+        cl = assign_clusters(ops, ddg, MACHINE, "bug")
+        defs = [i for i, op in enumerate(ops) if op.dest == "x"]
+        assert cl[defs[0]] == cl[defs[1]]
+
+    def test_reg_home_pins_redefinitions_across_blocks(self):
+        ops, ddg = _prep(lambda b: [b.add("i", "i", 1)])
+        cl = assign_clusters(ops, ddg, MACHINE, "bug", reg_home={"i": 2})
+        assert cl[0] == 2
+
+
+class TestCopyInsertion:
+    def test_no_copies_when_colocated(self):
+        def build(b):
+            x = b.add(None, "i", 1)
+            b.add(None, x, 1)
+        ops, ddg = _prep(build)
+        ci = insert_copies(ops, [0, 0], MACHINE, {})
+        assert ci.n_copies == 0
+        assert ci.ops == ops
+
+    def test_cross_cluster_use_gets_copy(self):
+        def build(b):
+            x = b.add(None, "i", 1)
+            b.add(None, x, 1)
+        ops, ddg = _prep(build)
+        ci = insert_copies(ops, [0, 2], MACHINE, {})
+        assert ci.n_copies == 1
+        copy = next(op for op in ci.ops if op.name == "xcopy")
+        # remote-write: the copy executes in the producer's cluster
+        idx = ci.ops.index(copy)
+        assert ci.clusters[idx] == 0
+        # ... and its destination register lives in the consumer's file
+        assert ci.shadow_cluster[copy.dest] == 2
+        # the consumer reads the shadow
+        consumer = ci.ops[-1]
+        assert copy.dest in consumer.reg_srcs()
+
+    def test_copies_deduplicated_per_cluster(self):
+        def build(b):
+            x = b.add(None, "i", 1)
+            b.add(None, x, 1)
+            b.add(None, x, 2)
+        ops, ddg = _prep(build)
+        ci = insert_copies(ops, [0, 1, 1], MACHINE, {})
+        assert ci.n_copies == 1
+
+    def test_two_consumer_clusters_two_copies(self):
+        def build(b):
+            x = b.add(None, "i", 1)
+            b.add(None, x, 1)
+            b.add(None, x, 2)
+        ops, ddg = _prep(build)
+        ci = insert_copies(ops, [0, 1, 2], MACHINE, {})
+        assert ci.n_copies == 2
+
+    def test_livein_copy_at_block_top(self):
+        ops, ddg = _prep(lambda b: [b.add(None, "j", 5)])
+        ci = insert_copies(ops, [3], MACHINE, {"j": 0})
+        assert ci.ops[0].name == "xcopy"
+        assert ci.clusters[0] == 0  # executes at the home cluster
+        assert ci.shadow_cluster[ci.ops[0].dest] == 3
+
+    def test_single_cluster_machine_never_copies(self):
+        from repro.arch.machine import ClusterSpec, Machine
+        m1 = Machine(n_clusters=1, cluster=ClusterSpec())
+        ops, ddg = _prep(lambda b: [b.add(None, "i", 1)])
+        ci = insert_copies(ops, [0], m1, {"i": 0})
+        assert ci.n_copies == 0
+
+    def test_copy_placed_after_def(self):
+        def build(b):
+            b.add(None, "j", 9)   # filler before the def
+            x = b.add(None, "i", 1)
+            b.add(None, x, 1)
+        ops, ddg = _prep(build)
+        ci = insert_copies(ops, [0, 0, 1], MACHINE, {})
+        names = [op.name for op in ci.ops]
+        def_idx = next(i for i, op in enumerate(ci.ops)
+                       if op.dest is not None and op.srcs[:1] == ("i",))
+        assert names[def_idx + 1] == "xcopy"

@@ -1,0 +1,181 @@
+"""Dependence-graph construction tests."""
+
+import pytest
+
+from repro.arch import paper_machine
+from repro.compiler.ddg import build_ddg
+from repro.ir import AccessPattern, KernelBuilder
+
+MACHINE = paper_machine()
+
+
+def _lat(op):
+    return MACHINE.latency_of(op.opcode.op_class)
+
+
+def _edges(ddg):
+    return {(a, b): lat for a in range(ddg.n)
+            for b, lat in ddg.succ_edges[a]}
+
+
+def _ops(build):
+    b = KernelBuilder("k")
+    b.pattern("p", "table", 4096)
+    b.pattern("q", "table", 4096)
+    b.pattern("s", "stream", 4096, stride=4)
+    b.param("i", "j")
+    b.block("main")
+    build(b)
+    return b.build().blocks[0].ops, b
+
+
+class TestRegisterDeps:
+    def test_raw_carries_producer_latency(self):
+        ops, _ = _ops(lambda b: (b.ld("x", "i", "p"), b.add(None, "x", 1)))
+        e = _edges(build_ddg(list(ops), _lat, frozenset()))
+        assert e[(0, 1)] == 2  # load latency
+
+    def test_alu_raw_is_one_cycle(self):
+        ops, _ = _ops(lambda b: (b.add("x", "i", 1), b.add(None, "x", 1)))
+        e = _edges(build_ddg(list(ops), _lat, frozenset()))
+        assert e[(0, 1)] == 1
+
+    def test_war_allows_same_cycle(self):
+        ops, _ = _ops(lambda b: (b.add(None, "j", 1), b.add("j", "i", 1)))
+        e = _edges(build_ddg(list(ops), _lat, frozenset()))
+        assert e[(0, 1)] == 0
+
+    def test_waw_orders_writes(self):
+        ops, _ = _ops(lambda b: (b.ld("x", "i", "p"), b.add("x", "i", 1)))
+        e = _edges(build_ddg(list(ops), _lat, frozenset()))
+        # 2-cycle load writes x at t+2; the 1-cycle add must land after
+        assert e[(0, 1)] == 2
+
+    def test_immediates_create_no_edges(self):
+        ops, _ = _ops(lambda b: (b.movi("x", 4), b.movi("y", 4)))
+        e = _edges(build_ddg(list(ops), _lat, frozenset()))
+        assert (0, 1) not in e
+
+
+class TestMemoryDeps:
+    def test_loads_never_conflict(self):
+        ops, _ = _ops(lambda b: (b.ld(None, "i", "p"), b.ld(None, "j", "p")))
+        e = _edges(build_ddg(list(ops), _lat, frozenset()))
+        assert (0, 1) not in e
+
+    def test_store_load_same_class_ordered(self):
+        ops, _ = _ops(lambda b: (b.st("i", "j", "p"), b.ld(None, "i", "p")))
+        e = _edges(build_ddg(list(ops), _lat, frozenset()))
+        assert e[(0, 1)] == 1
+
+    def test_different_classes_independent(self):
+        ops, _ = _ops(lambda b: (b.st("i", "j", "p"), b.ld(None, "i", "q")))
+        e = _edges(build_ddg(list(ops), _lat, frozenset()))
+        assert (0, 1) not in e
+
+    def test_cross_copy_strided_disambiguation(self):
+        from dataclasses import replace
+        ops, builder = _ops(lambda b: (b.st("i", "j", "s"),
+                                       b.ld(None, "i", "s")))
+        patterns = {"s": AccessPattern("s", "stream", 4096, 4)}
+        tagged = [replace(ops[0], copy_tag=0), replace(ops[1], copy_tag=1)]
+        e = _edges(build_ddg(tagged, _lat, frozenset(), patterns=patterns))
+        assert (0, 1) not in e
+        del builder
+
+    def test_same_copy_still_ordered(self):
+        from dataclasses import replace
+        ops, _ = _ops(lambda b: (b.st("i", "j", "s"), b.ld(None, "i", "s")))
+        patterns = {"s": AccessPattern("s", "stream", 4096, 4)}
+        tagged = [replace(o, copy_tag=0) for o in ops]
+        e = _edges(build_ddg(tagged, _lat, frozenset(), patterns=patterns))
+        assert e[(0, 1)] == 1
+
+    def test_random_patterns_stay_conservative(self):
+        from dataclasses import replace
+        b = KernelBuilder("k")
+        b.pattern("r", "rand", 4096)
+        b.param("i")
+        b.block("main")
+        b.st("i", "i", "r")
+        b.ld(None, "i", "r")
+        ops = b.build().blocks[0].ops
+        patterns = {"r": AccessPattern("r", "rand", 4096)}
+        tagged = [replace(ops[0], copy_tag=0), replace(ops[1], copy_tag=1)]
+        e = _edges(build_ddg(tagged, _lat, frozenset(), patterns=patterns))
+        assert e[(0, 1)] == 1
+
+
+class TestControlDeps:
+    def _branchy(self, live_guard=frozenset(), speculate=True):
+        b = KernelBuilder("k")
+        b.pattern("p", "table", 64)
+        b.param("i", "g")
+        b.block("main")
+        c = b.cmp(None, "i", 1)          # 0
+        b.br_if(c, "out", prob=0.1)      # 1 side exit
+        b.add(None, "i", 1)              # 2 safe temp
+        b.add("g", "g", 1)               # 3 guarded def
+        b.st("g", "i", "p")              # 4 store
+        t = b.cmp(None, "i", 2)          # 5
+        b.br_loop(t, "main", trip=4)     # 6 terminator
+        b.block("out")
+        b.movi(None, 0)
+        fn = b.build()
+        ops = list(fn.blocks[0].ops)
+        return ops, build_ddg(ops, _lat, live_guard, speculate)
+
+    def test_safe_op_may_hoist_above_side_exit(self):
+        _ops_, ddg = self._branchy()
+        assert (1, 2) not in _edges(ddg)
+
+    def test_store_pinned_below_side_exit(self):
+        _ops_, ddg = self._branchy()
+        assert _edges(ddg)[(1, 4)] == 1
+
+    def test_guarded_def_pinned_below_side_exit(self):
+        _ops_, ddg = self._branchy(live_guard=frozenset({"g"}))
+        assert _edges(ddg)[(1, 3)] == 1
+
+    def test_speculation_off_pins_everything(self):
+        _ops_, ddg = self._branchy(speculate=False)
+        e = _edges(ddg)
+        assert (1, 2) in e and (1, 3) in e and (1, 4) in e
+
+    def test_every_op_bounded_by_terminator(self):
+        _ops_, ddg = self._branchy()
+        e = _edges(ddg)
+        for i in range(6):
+            assert (i, 6) in e
+
+    def test_branches_keep_program_order(self):
+        _ops_, ddg = self._branchy()
+        assert _edges(ddg)[(1, 6)] >= 1
+
+
+class TestGraphAlgorithms:
+    def test_topological_order_respects_edges(self):
+        ops, _ = _ops(lambda b: (b.add("x", "i", 1), b.add("y", "x", 1),
+                                 b.add(None, "y", 1)))
+        ddg = build_ddg(list(ops), _lat, frozenset())
+        order = ddg.topological_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for a in range(ddg.n):
+            for bb, _l in ddg.succ_edges[a]:
+                assert pos[a] < pos[bb]
+
+    def test_heights_reflect_critical_path(self):
+        ops, _ = _ops(lambda b: (b.ld("x", "i", "p"), b.mpy("y", "x", 3),
+                                 b.add(None, "y", 1)))
+        ddg = build_ddg(list(ops), _lat, frozenset())
+        h = ddg.heights(lambda i: _lat(ops[i]))
+        assert h[0] == 5  # ld(2) + mpy(2) + add(1)
+        assert h[0] > h[1] > h[2]
+
+    def test_cycle_detection(self):
+        ddg = build_ddg([], _lat, frozenset())
+        ddg.n = 2
+        ddg.succ_edges = [[(1, 0)], [(0, 0)]]
+        ddg.pred_edges = [[(1, 0)], [(0, 0)]]
+        with pytest.raises(ValueError, match="cycle"):
+            ddg.topological_order()

@@ -1,0 +1,114 @@
+"""Integration tests: the paper's headline claims at reduced scale.
+
+These are the P1-P5 facts from DESIGN.md section 6 - each maps to a
+sentence in the paper's abstract or Section 5.2.  Scales are small, so
+thresholds are generous; the exact percentage comparisons live in
+EXPERIMENTS.md at full scale.
+"""
+
+import pytest
+
+from repro.arch import paper_machine
+from repro.sim import SimConfig, run_workload
+from repro.workloads import workload_programs
+
+MACHINE = paper_machine()
+CFG = SimConfig(instr_limit=4_000, timeslice=1_000, warmup_instrs=800)
+
+
+@pytest.fixture(scope="module")
+def mixed():
+    return workload_programs("LLHH", MACHINE)
+
+
+@pytest.fixture(scope="module")
+def ipc(mixed):
+    def run(scheme, programs=None):
+        return run_workload(programs or mixed, scheme, CFG).ipc
+
+    return run
+
+
+class TestP1_SmtScaling:
+    def test_more_hardware_threads_help(self, ipc):
+        single = ipc("ST")
+        two = ipc("1S")
+        four = ipc("3SSS")
+        assert single < two < four
+
+    def test_four_thread_gain_substantial(self, ipc):
+        assert ipc("3SSS") > 1.25 * ipc("1S")  # paper: +61%
+
+
+class TestP2_SmtVsCsmt:
+    def test_smt_beats_csmt_on_every_workload(self):
+        for wl in ("LLLL", "MMMM", "LLHH", "HHHH"):
+            programs = workload_programs(wl, MACHINE)
+            smt = run_workload(programs, "3SSS", CFG).ipc
+            csmt = run_workload(programs, "3CCC", CFG).ipc
+            assert smt > csmt, wl
+
+
+class TestP3_SchemeOrderings:
+    def test_hybrid_sits_between_extremes(self, ipc):
+        csmt = ipc("3CCC")
+        hybrid = ipc("3SCC")
+        smt = ipc("3SSS")
+        assert csmt < hybrid <= smt
+
+    def test_double_smt_between_single_and_full(self, ipc):
+        assert ipc("3SCC") <= ipc("3SSC") * 1.02
+        assert ipc("3SSC") <= ipc("3SSS") * 1.02
+
+    def test_2sc_no_better_than_hybrid_cascade(self, ipc):
+        """2SC costs two SMT blocks yet cannot beat the single-block
+        cascade: CSMT-after-SMT restricts merging (Section 5.2).  (The
+        paper places 2SC even below 3CCC; our 4-resident-thread
+        pass-through model is kinder to trees - see EXPERIMENTS.md.)"""
+        assert ipc("2SC") <= ipc("3SCC") * 1.03
+        assert ipc("2SC") < 0.92 * ipc("3SSS")
+
+    def test_2cc_below_cascade_csmt(self, ipc):
+        assert ipc("2CC") <= ipc("3CCC") * 1.02
+
+
+class TestP3_ExactEquivalences:
+    """Parallel CSMT blocks must be cycle-for-cycle identical to their
+    serial cascades in a full multithreaded simulation."""
+
+    @pytest.mark.parametrize("a,b", [("C4", "3CCC"), ("2SC3", "3SCC"),
+                                     ("2C3S", "3CCS")])
+    def test_equivalent_schemes_identical_runs(self, mixed, a, b):
+        ra = run_workload(mixed, a, CFG)
+        rb = run_workload(mixed, b, CFG)
+        assert ra.stats.cycles == rb.stats.cycles
+        assert ra.stats.ops == rb.stats.ops
+        assert ra.stats.merged_hist == rb.stats.merged_hist
+
+
+class TestP4_Headline2SC3:
+    def test_2sc3_between_csmt_and_smt(self, ipc):
+        csmt4 = ipc("3CCC")
+        smt2 = ipc("1S")
+        smt4 = ipc("3SSS")
+        hybrid = ipc("2SC3")
+        assert hybrid > csmt4
+        assert hybrid > smt2
+        assert hybrid <= smt4 * 1.02
+
+
+class TestMergeStatistics:
+    def test_smt_coissues_more_threads(self, mixed):
+        smt = run_workload(mixed, "3SSS", CFG).stats
+        csmt = run_workload(mixed, "3CCC", CFG).stats
+        assert smt.avg_threads_per_cycle() > csmt.avg_threads_per_cycle()
+
+    def test_multithreading_cuts_vertical_waste(self, mixed):
+        st = run_workload(mixed, "ST", CFG).stats
+        mt = run_workload(mixed, "3SSS", CFG).stats
+        assert mt.vertical_waste / mt.cycles < st.vertical_waste / st.cycles
+
+    def test_horizontal_waste_reported(self, mixed):
+        s = run_workload(mixed, "3SSS", CFG).stats
+        hw = s.horizontal_waste(MACHINE.total_issue_width)
+        assert 0 <= hw < 1

@@ -1,0 +1,209 @@
+"""IR builder / verifier / pattern tests."""
+
+import pytest
+
+from repro.ir import AccessPattern, IRError, KernelBuilder, verify
+from repro.ir.nodes import BranchBehavior, IROp, opcode
+
+
+class TestAccessPattern:
+    def test_valid_stream(self):
+        p = AccessPattern("x", "stream", 1024, stride=4)
+        assert p.footprint == 1024
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            AccessPattern("x", "zigzag", 1024)
+
+    def test_rejects_bad_footprint(self):
+        with pytest.raises(ValueError):
+            AccessPattern("x", "rand", 0)
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            AccessPattern("x", "stream", 64, stride=0)
+
+    def test_rejects_non_pow2_align(self):
+        with pytest.raises(ValueError):
+            AccessPattern("x", "rand", 64, align=3)
+
+
+class TestBranchBehavior:
+    def test_loop(self):
+        b = BranchBehavior.loop(8)
+        assert b.kind == "loop" and b.trip == 8
+
+    def test_loop_rejects_zero_trip(self):
+        with pytest.raises(ValueError):
+            BranchBehavior.loop(0)
+
+    def test_bernoulli_bounds(self):
+        with pytest.raises(ValueError):
+            BranchBehavior.bernoulli(1.5)
+
+    def test_always(self):
+        assert BranchBehavior.always().prob == 1.0
+
+
+class TestBuilder:
+    def test_auto_temporaries_are_unique(self):
+        b = KernelBuilder("k")
+        b.block("main")
+        r1 = b.movi(None, 1)
+        r2 = b.movi(None, 2)
+        assert r1 != r2
+
+    def test_dataflow_chaining(self):
+        b = KernelBuilder("k")
+        b.block("main")
+        x = b.movi(None, 1)
+        y = b.add(None, x, 2)
+        fn = b.build()
+        op = fn.blocks[0].ops[1]
+        assert op.srcs == (x, 2)
+        assert op.dest == y
+
+    def test_duplicate_pattern_rejected(self):
+        b = KernelBuilder("k")
+        b.pattern("p", "table", 64)
+        with pytest.raises(ValueError):
+            b.pattern("p", "table", 64)
+
+    def test_duplicate_label_rejected(self):
+        b = KernelBuilder("k")
+        b.block("a")
+        with pytest.raises(ValueError):
+            b.block("a")
+
+    def test_params_become_live_out(self):
+        b = KernelBuilder("k")
+        b.param("i")
+        b.block("main")
+        b.add("i", "i", 1)
+        fn = b.build()
+        assert "i" in fn.live_out
+
+    def test_load_records_pattern_and_alias(self):
+        b = KernelBuilder("k")
+        b.pattern("p", "table", 64)
+        b.param("i")
+        b.block("main")
+        b.ld(None, "i", "p")
+        fn = b.build()
+        op = fn.blocks[0].ops[0]
+        assert op.pattern == "p" and op.alias == "p"
+
+
+class TestVerifier:
+    def _base(self):
+        b = KernelBuilder("k")
+        b.pattern("p", "table", 64)
+        b.param("i")
+        b.block("main")
+        return b
+
+    def test_accepts_valid(self):
+        b = self._base()
+        b.ld(None, "i", "p")
+        b.build()
+
+    def test_rejects_undefined_register(self):
+        b = self._base()
+        b.add(None, "nope", 1)
+        with pytest.raises(IRError, match="undefined register"):
+            b.build()
+
+    def test_rejects_unknown_branch_target(self):
+        b = self._base()
+        c = b.cmp(None, "i", 1)
+        b.emit(IROp(opcode("br"), srcs=(c,), target="missing",
+                    behavior=BranchBehavior.bernoulli(0.5)))
+        with pytest.raises(IRError, match="unknown block"):
+            b.build()
+
+    def test_rejects_unknown_pattern(self):
+        b = self._base()
+        b.emit(IROp(opcode("ld"), dest="x", srcs=("i",), pattern="ghost",
+                    alias="ghost"))
+        with pytest.raises(IRError, match="unknown pattern"):
+            b.build()
+
+    def test_rejects_branch_without_behavior(self):
+        b = self._base()
+        c = b.cmp(None, "i", 1)
+        b.emit(IROp(opcode("br"), srcs=(c,), target="main"))
+        with pytest.raises(IRError, match="behaviour"):
+            b.build()
+
+    def test_rejects_mid_block_loop_branch(self):
+        b = self._base()
+        c = b.cmp(None, "i", 1)
+        b.emit(IROp(opcode("br"), srcs=(c,), target="main",
+                    behavior=BranchBehavior.loop(4)))
+        b.add(None, "i", 1)
+        with pytest.raises(IRError, match="terminator"):
+            b.build()
+
+    def test_rejects_pattern_on_alu_op(self):
+        b = self._base()
+        b.emit(IROp(opcode("add"), dest="x", srcs=("i", 1), pattern="p"))
+        with pytest.raises(IRError, match="carries a pattern"):
+            b.build()
+
+    def test_rejects_empty_function(self):
+        from repro.ir.nodes import IRFunction
+        with pytest.raises(IRError, match="no blocks"):
+            verify(IRFunction("empty"))
+
+    def test_rejects_undefined_live_out(self):
+        b = self._base()
+        b.live_out("ghost")
+        b.movi(None, 1)
+        with pytest.raises(IRError, match="live_out"):
+            b.build()
+
+
+class TestCFG:
+    def test_fallthrough_successor(self):
+        b = KernelBuilder("k")
+        b.block("a")
+        b.movi(None, 1)
+        b.block("b")
+        b.movi(None, 2)
+        fn = b.build()
+        assert fn.successors(0) == [1]
+        assert fn.successors(1) == []
+
+    def test_cond_terminator_has_two_successors(self):
+        b = KernelBuilder("k")
+        b.param("i")
+        b.block("loop")
+        c = b.cmp(None, "i", 1)
+        b.br_loop(c, "loop", trip=4)
+        b.block("after")
+        b.movi(None, 1)
+        fn = b.build()
+        assert fn.successors(0) == [0, 1]
+
+    def test_side_exit_adds_successor(self):
+        b = KernelBuilder("k")
+        b.param("i")
+        b.block("main")
+        c = b.cmp(None, "i", 1)
+        b.br_if(c, "rare", prob=0.1)
+        b.add("i", "i", 1)
+        b.block("rare")
+        b.add("i", "i", 2)
+        fn = b.build()
+        assert 1 in fn.successors(0)
+
+    def test_goto_kills_fallthrough(self):
+        b = KernelBuilder("k")
+        b.block("a")
+        b.goto("c")
+        b.block("b")
+        b.movi(None, 1)
+        b.block("c")
+        b.movi(None, 2)
+        fn = b.build()
+        assert fn.successors(0) == [2]

@@ -1,0 +1,155 @@
+"""ISA tests: operations, MultiOps and the SWAR usage packing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch import paper_machine
+from repro.isa import (
+    FIELDS_PER_CLUSTER,
+    MultiOp,
+    OPCODES,
+    OpClass,
+    Operation,
+    high_mask,
+    pack_caps,
+    packed_fits,
+)
+from tests.conftest import mop_from_counts
+
+MACHINE = paper_machine()
+
+
+class TestOpcodes:
+    def test_core_opcodes_present(self):
+        for name in ("add", "mpy", "ld", "st", "br", "goto", "xcopy"):
+            assert name in OPCODES
+
+    def test_classes(self):
+        assert OPCODES["add"].op_class is OpClass.ALU
+        assert OPCODES["mpy"].op_class is OpClass.MUL
+        assert OPCODES["ld"].op_class is OpClass.MEM
+        assert OPCODES["br"].op_class is OpClass.BR
+        assert OPCODES["xcopy"].op_class is OpClass.COPY
+
+    def test_load_store_flags(self):
+        assert OPCODES["ld"].is_load and not OPCODES["ld"].is_store
+        assert OPCODES["st"].is_store and not OPCODES["st"].is_load
+
+    def test_branch_conditionality(self):
+        assert OPCODES["br"].is_cond
+        assert not OPCODES["goto"].is_cond
+
+
+class TestOperation:
+    def test_str_contains_position(self):
+        op = Operation(OPCODES["add"], cluster=2, slot=3, dest=5, srcs=(1, 2))
+        assert "c2.s3" in str(op)
+
+    def test_class_shortcuts(self):
+        op = Operation(OPCODES["ld"], 0, 0, dest=1)
+        assert op.is_mem and not op.is_branch
+
+
+class TestMultiOp:
+    def test_empty_is_nop(self):
+        m = MultiOp((), 4)
+        assert m.n_ops == 0
+        assert m.mask == 0
+        assert m.packed == 0
+        assert m.size == 4
+
+    def test_mask_tracks_clusters(self):
+        m = mop_from_counts(MACHINE, {0: (1, 0, 0, 0), 2: (0, 1, 0, 0)})
+        assert m.mask == 0b101
+        assert m.clusters_used() == (0, 2)
+
+    def test_counts_per_class(self):
+        m = mop_from_counts(MACHINE, {1: (2, 1, 1, 0)})
+        assert m.counts[1] == (4, 1, 1, 0)  # ops total, mem, mul, br
+
+    def test_mem_ops_collected_in_order(self):
+        m = mop_from_counts(MACHINE, {0: (0, 1, 0, 0), 1: (0, 1, 0, 0)})
+        assert len(m.mem_ops) == 2
+        assert m.mem_is_load == (True, True)
+
+    def test_single_branch_enforced(self):
+        br = Operation(OPCODES["br"], 0, 1)
+        br2 = Operation(OPCODES["br"], 1, 1)
+        with pytest.raises(ValueError):
+            MultiOp((br, br2), 4)
+
+    def test_cluster_bounds_checked(self):
+        op = Operation(OPCODES["add"], 7, 0, dest=1)
+        with pytest.raises(ValueError):
+            MultiOp((op,), 4)
+
+    def test_validate_rejects_bad_slot_class(self):
+        op = Operation(OPCODES["ld"], 0, 3, dest=1)  # mem in mul slot
+        m = MultiOp((op,), 4)
+        with pytest.raises(ValueError):
+            m.validate(MACHINE)
+
+    def test_validate_rejects_slot_collision(self):
+        a = Operation(OPCODES["add"], 0, 2, dest=1)
+        b = Operation(OPCODES["sub"], 0, 2, dest=2)
+        with pytest.raises(ValueError):
+            MultiOp((a, b), 4).validate(MACHINE)
+
+    def test_validate_accepts_full_cluster(self):
+        m = mop_from_counts(MACHINE, {0: (1, 1, 1, 1)})
+        m.validate(MACHINE)  # 4 ops: mem@0 br@1 mul@2 alu@3
+
+    def test_size_scales_with_ops(self):
+        m = mop_from_counts(MACHINE, {0: (2, 0, 0, 0)})
+        assert m.size == 8
+
+
+class TestPackedUsage:
+    def test_high_mask_bytes(self):
+        h = high_mask(4)
+        assert h.bit_length() == 4 * FIELDS_PER_CLUSTER * 8
+        assert h & 0xFF == 0x80
+
+    def test_pack_caps_layout(self):
+        word = pack_caps((4, 1, 2, 1), 2)
+        assert word & 0xFF == 4
+        assert (word >> 8) & 0xFF == 1
+        assert (word >> 16) & 0xFF == 2
+        assert (word >> 24) & 0xFF == 1
+        assert (word >> 32) & 0xFF == 4  # second cluster
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 1),
+                      st.integers(0, 2), st.integers(0, 1)),
+            min_size=4, max_size=4,
+        ),
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 1),
+                      st.integers(0, 2), st.integers(0, 1)),
+            min_size=4, max_size=4,
+        ),
+    )
+    def test_packed_fits_equals_fieldwise_check(self, ua, ub):
+        """The SWAR check must agree with the obvious per-field loop."""
+        caps = (4, 1, 2, 1)
+        n = 4
+        high = high_mask(n)
+        caps_high = pack_caps(caps, n) | high
+
+        def pack(u):
+            w = 0
+            for c, fields in enumerate(u):
+                for f, v in enumerate(fields):
+                    w |= v << (8 * (c * FIELDS_PER_CLUSTER + f))
+            return w
+
+        combined = [
+            tuple(a + b for a, b in zip(ua[c], ub[c])) for c in range(n)
+        ]
+        expected = all(
+            combined[c][f] <= caps[f] for c in range(n) for f in range(4)
+        )
+        got = packed_fits(pack(ua) + pack(ub), caps_high, high)
+        assert got == expected

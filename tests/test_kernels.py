@@ -1,0 +1,127 @@
+"""Benchmark-suite tests: structure, compilation, ILP-class bands."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch import paper_machine
+from repro.ir import verify
+from repro.kernels import SUITE, by_class, by_name, compile_spec, compile_suite
+from repro.sim import SimConfig, run_workload
+
+MACHINE = paper_machine()
+
+#: classification bands over IPCp (Table 1 classifies by perfect-memory IPC)
+L_BAND = 1.6
+M_BAND = 3.0
+
+
+class TestSuiteStructure:
+    def test_twelve_benchmarks(self):
+        assert len(SUITE) == 12
+
+    def test_four_per_class(self):
+        for cls in "LMH":
+            assert len(by_class(cls)) == 4
+
+    def test_names_match_table1(self):
+        expected = [
+            "mcf", "bzip2", "blowfish", "gsmencode", "g721encode",
+            "g721decode", "cjpeg", "djpeg", "imgpipe", "x264", "idct",
+            "colorspace",
+        ]
+        assert [s.name for s in SUITE] == expected
+
+    def test_by_name_lookup(self):
+        assert by_name("idct").ilp_class == "H"
+        with pytest.raises(KeyError):
+            by_name("quake")
+
+    def test_paper_values_recorded(self):
+        cs = by_name("colorspace")
+        assert cs.paper_ipcp == 8.88 and cs.paper_ipcr == 5.47
+
+    @pytest.mark.parametrize("spec", SUITE, ids=lambda s: s.name)
+    def test_ir_verifies(self, spec):
+        verify(spec.build())
+
+    @pytest.mark.parametrize("spec", SUITE, ids=lambda s: s.name)
+    def test_compiles_and_validates(self, spec):
+        prog = compile_spec(spec, MACHINE)
+        prog.validate()
+        assert prog.n_static_ops > 0
+
+    def test_compile_suite_covers_all(self):
+        progs = compile_suite(MACHINE)
+        assert sorted(progs) == sorted(s.name for s in SUITE)
+
+    def test_compile_cache_hits(self):
+        a = compile_spec(by_name("idct"), MACHINE)
+        b = compile_spec(by_name("idct"), MACHINE)
+        assert a is b
+
+
+class TestIlpClasses:
+    """The headline property: each kernel lands in its Table 1 band."""
+
+    @pytest.fixture(scope="class")
+    def ipcs(self):
+        cfg = SimConfig(instr_limit=6_000, timeslice=6_000,
+                        warmup_instrs=1_500, perfect_icache=True,
+                        perfect_dcache=True)
+        out = {}
+        for spec in SUITE:
+            prog = compile_spec(spec, MACHINE)
+            out[spec.name] = run_workload([prog], "ST", cfg).ipc
+        return out
+
+    @pytest.mark.parametrize("spec", SUITE, ids=lambda s: s.name)
+    def test_class_band(self, ipcs, spec):
+        ipc = ipcs[spec.name]
+        if spec.ilp_class == "L":
+            assert ipc < L_BAND
+        elif spec.ilp_class == "M":
+            assert L_BAND <= ipc < M_BAND
+        else:
+            assert ipc >= M_BAND
+
+    def test_colorspace_is_widest(self, ipcs):
+        assert max(ipcs, key=ipcs.get) == "colorspace"
+
+    def test_class_averages_ordered(self, ipcs):
+        avg = {
+            cls: sum(ipcs[s.name] for s in by_class(cls)) / 4
+            for cls in "LMH"
+        }
+        assert avg["L"] < avg["M"] < avg["H"]
+
+
+class TestCacheSensitivity:
+    @pytest.fixture(scope="class")
+    def pairs(self):
+        real = SimConfig(instr_limit=6_000, timeslice=6_000,
+                         warmup_instrs=1_500)
+        perf = dataclasses.replace(real, perfect_icache=True,
+                                   perfect_dcache=True)
+        out = {}
+        for spec in SUITE:
+            prog = compile_spec(spec, MACHINE)
+            out[spec.name] = (run_workload([prog], "ST", real).ipc,
+                              run_workload([prog], "ST", perf).ipc)
+        return out
+
+    @pytest.mark.parametrize("spec", SUITE, ids=lambda s: s.name)
+    def test_perfect_at_least_real(self, pairs, spec):
+        ipcr, ipcp = pairs[spec.name]
+        assert ipcp >= ipcr * 0.98  # noise guard
+
+    def test_memory_bound_kernels_show_big_gaps(self, pairs):
+        """mcf, cjpeg and colorspace carry the paper's largest gaps."""
+        for name in ("mcf", "cjpeg", "colorspace"):
+            ipcr, ipcp = pairs[name]
+            assert ipcr / ipcp < 0.85, name
+
+    def test_resident_kernels_show_small_gaps(self, pairs):
+        for name in ("gsmencode", "g721encode", "djpeg", "bzip2"):
+            ipcr, ipcp = pairs[name]
+            assert ipcr / ipcp > 0.9, name

@@ -1,0 +1,188 @@
+"""Scheme AST semantics: priority, pass-through, commit losses,
+parallel/serial functional equivalence."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch import paper_machine
+from repro.merge import get_scheme, parse_scheme
+from repro.merge.packet import MergeRules
+from repro.merge.scheme import Leaf, Node, ParCsmt, Scheme
+from tests.conftest import packet
+
+MACHINE = paper_machine()
+RULES = MergeRules(MACHINE)
+
+
+def _narrow(port, cluster=0):
+    return packet(MACHINE, {cluster: (1, 0, 0, 0)}, port)
+
+
+def _full(port):
+    return packet(MACHINE, {c: (4, 0, 0, 0) for c in range(4)}, port)
+
+
+class TestNodeSemantics:
+    def test_pass_through_left_none(self):
+        n = Node("C", Leaf(0), Leaf(1))
+        p = _narrow(1)
+        assert n.eval([None, p], RULES) is p
+
+    def test_pass_through_right_none(self):
+        n = Node("S", Leaf(0), Leaf(1))
+        p = _narrow(0)
+        assert n.eval([p, None], RULES) is p
+
+    def test_all_none(self):
+        n = Node("S", Leaf(0), Leaf(1))
+        assert n.eval([None, None], RULES) is None
+
+    def test_merge_failure_keeps_left(self):
+        n = Node("C", Leaf(0), Leaf(1))
+        a, b = _narrow(0, 0), _narrow(1, 0)  # same cluster
+        out = n.eval([a, b], RULES)
+        assert out is a
+
+    def test_merge_success_combines(self):
+        n = Node("C", Leaf(0), Leaf(1))
+        a, b = _narrow(0, 0), _narrow(1, 1)
+        out = n.eval([a, b], RULES)
+        assert out.ports == (0, 1)
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            Node("X", Leaf(0), Leaf(1))
+
+    def test_parc_needs_two_children(self):
+        with pytest.raises(ValueError):
+            ParCsmt([Leaf(0)])
+
+
+class TestSchemeValidation:
+    def test_ports_must_be_dense(self):
+        with pytest.raises(ValueError):
+            Scheme("bad", Node("S", Leaf(0), Leaf(2)))
+
+    def test_ports_must_be_unique(self):
+        with pytest.raises(ValueError):
+            Scheme("bad", Node("S", Leaf(0), Leaf(0)))
+
+    def test_count_blocks(self):
+        s = get_scheme("3SCC")
+        assert s.count_blocks() == {"S": 1, "C": 2, "parC": 0}
+        s = get_scheme("2SC3")
+        assert s.count_blocks() == {"S": 1, "C": 0, "parC": 1}
+
+
+class TestTreeCommitLoss:
+    """Section 4.1: a tree pair-node commits to its merged output even
+    when that loses a merge a cascade would have found."""
+
+    def test_2cc_loses_vs_3ccc(self):
+        # T0 uses clusters {0,1}; T1 stalled; T2 {2}, T3 {3}:
+        # pair(T2,T3) -> {2,3}; root merges with T0 -> all four issue.
+        # But when T2 uses {1,2}: pair(T2,T3) = {1,2,3} conflicts with T0,
+        # so the tree issues only T0... while the cascade merges T0+T3.
+        t0 = packet(MACHINE, {0: (1, 0, 0, 0), 1: (1, 0, 0, 0)}, 0)
+        t2 = packet(MACHINE, {1: (1, 0, 0, 0), 2: (1, 0, 0, 0)}, 2)
+        t3 = packet(MACHINE, {3: (1, 0, 0, 0)}, 3)
+        ports = [t0, None, t2, t3]
+        tree = get_scheme("2CC").select(ports, RULES)
+        cascade = get_scheme("3CCC").select(ports, RULES)
+        assert tree.ports == (0,)           # committed pair blocked it
+        assert set(cascade.ports) == {0, 3}  # cascade still adds T3
+
+    def test_2sc_root_needs_disjoint_merged_pairs(self):
+        # both pairs SMT-merge fine, but the merged pairs overlap on
+        # cluster 0, so the C root issues only the left pair: the reason
+        # 2SC performs barely better than 1S (Section 5.2)
+        t = [_narrow(p, 0) for p in range(4)]
+        out = get_scheme("2SC").select(t, RULES)
+        assert set(out.ports) == {0, 1}
+
+
+class TestFunctionalEquivalence:
+    """Parallel CSMT blocks select exactly like their serial cascades
+    (paper Section 3: 'functionally equivalent')."""
+
+    @staticmethod
+    @st.composite
+    def port_sets(draw):
+        ports = []
+        for p in range(4):
+            if draw(st.booleans()):
+                ports.append(None)
+                continue
+            clusters = {}
+            for c in range(4):
+                if draw(st.booleans()):
+                    clusters[c] = (draw(st.integers(1, 2)), 0, 0, 0)
+            if not clusters:
+                clusters = {draw(st.integers(0, 3)): (1, 0, 0, 0)}
+            ports.append(packet(MACHINE, clusters, p))
+        return ports
+
+    @given(port_sets())
+    def test_c4_equals_3ccc(self, ports):
+        a = get_scheme("C4").select(ports, RULES)
+        b = get_scheme("3CCC").select(ports, RULES)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.ports == b.ports
+
+    @given(port_sets())
+    def test_2sc3_equals_3scc(self, ports):
+        a = get_scheme("2SC3").select(ports, RULES)
+        b = get_scheme("3SCC").select(ports, RULES)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.ports == b.ports
+
+    @given(port_sets())
+    def test_2c3s_equals_3ccs(self, ports):
+        a = get_scheme("2C3S").select(ports, RULES)
+        b = get_scheme("3CCS").select(ports, RULES)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.ports == b.ports
+
+    @given(port_sets())
+    def test_selection_always_includes_leading_valid_port(self, ports):
+        """The highest-priority ready thread always issues under any
+        cascade scheme (no starvation within a cycle)."""
+        for name in ("3SSS", "3CCC", "3SCC", "C4"):
+            out = get_scheme(name).select(ports, RULES)
+            first = next((i for i, p in enumerate(ports) if p is not None),
+                         None)
+            if first is None:
+                assert out is None
+            else:
+                assert first in out.ports
+
+    @given(port_sets())
+    def test_selected_set_is_pairwise_mergeable(self, ports):
+        """Whatever a scheme selects must satisfy the machine caps: the
+        final packet is a legal VLIW issue group."""
+        from repro.isa import high_mask, pack_caps, packed_fits
+
+        high = high_mask(4)
+        caps_high = pack_caps(MACHINE.caps, 4) | high
+        for name in ("3SSS", "3CCC", "2CS", "2SC", "C4", "2SC3"):
+            out = get_scheme(name).select(ports, RULES)
+            if out is not None:
+                assert packed_fits(out.packed, caps_high, high)
+
+    @given(port_sets())
+    def test_csmt_scheme_output_is_cluster_disjoint(self, ports):
+        """Pure-CSMT selections must use each cluster at most once: the
+        merged mask's popcount equals the sum of the members'."""
+        out = get_scheme("3CCC").select(ports, RULES)
+        if out is None:
+            return
+        member_bits = sum(
+            bin(p.mask).count("1")
+            for i, p in enumerate(ports)
+            if p is not None and i in out.ports
+        )
+        assert bin(out.mask).count("1") == member_bits

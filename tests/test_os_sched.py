@@ -1,0 +1,104 @@
+"""Multitasking OS model tests."""
+
+import pytest
+
+from repro.arch import paper_machine
+from repro.merge import get_scheme
+from repro.sim import MTCore, Multitasker, ThreadState
+from repro.sim.cache import PerfectCache
+from tests.conftest import build_saxpy
+from repro.compiler import compile_kernel
+
+MACHINE = paper_machine()
+
+
+def _threads(n, prog=None):
+    prog = prog or compile_kernel(build_saxpy(), MACHINE)
+    return [ThreadState(prog, i, seed=i) for i in range(n)]
+
+
+def _tasker(n_threads=4, scheme="1S", timeslice=200, seed=0):
+    core = MTCore(MACHINE, get_scheme(scheme), PerfectCache(), PerfectCache())
+    return Multitasker(core, _threads(n_threads), timeslice=timeslice,
+                       seed=seed), core
+
+
+class TestScheduling:
+    def test_rejects_empty_workload(self):
+        core = MTCore(MACHINE, get_scheme("ST"), PerfectCache(),
+                      PerfectCache())
+        with pytest.raises(ValueError):
+            Multitasker(core, [])
+
+    def test_rejects_too_many_threads_on_core(self):
+        core = MTCore(MACHINE, get_scheme("ST"), PerfectCache(),
+                      PerfectCache())
+        with pytest.raises(ValueError):
+            core.set_contexts(_threads(2))
+
+    def test_context_switches_happen(self):
+        tasker, core = _tasker(n_threads=4, scheme="1S", timeslice=100)
+        tasker.run(instr_limit=2_000)
+        assert core.stats.context_switches > 3
+
+    def test_all_threads_make_progress_on_narrow_core(self):
+        """4 software threads multiplexed on 1 hardware context."""
+        tasker, core = _tasker(n_threads=4, scheme="ST", timeslice=100)
+        res = tasker.run(instr_limit=1_500)
+        assert all(t.issued_instrs > 0 for t in res.threads)
+
+    def test_run_stops_at_instr_limit(self):
+        tasker, core = _tasker()
+        res = tasker.run(instr_limit=500)
+        assert max(t.issued_instrs for t in res.threads) == 500
+
+    def test_max_cycles_safety_net(self):
+        tasker, core = _tasker()
+        tasker.run(instr_limit=10**9, max_cycles=1_000)
+        assert core.cycle <= 1_000
+
+    def test_deterministic_per_seed(self):
+        a_tasker, a_core = _tasker(seed=3)
+        a_tasker.run(instr_limit=1_000)
+        b_tasker, b_core = _tasker(seed=3)
+        b_tasker.run(instr_limit=1_000)
+        assert a_core.stats.cycles == b_core.stats.cycles
+        assert a_core.stats.ops == b_core.stats.ops
+
+    def test_replacement_prefers_not_running(self):
+        tasker, core = _tasker(n_threads=4, scheme="1S")
+        running = tasker.threads[:2]
+        pick = tasker._pick(running)
+        assert len(pick) == 2
+        assert set(pick).issubset(set(tasker.threads))
+        assert set(pick) == set(tasker.threads) - set(running)
+
+    def test_replacement_fills_from_running_when_short(self):
+        tasker, core = _tasker(n_threads=2, scheme="1S")
+        pick = tasker._pick(tasker.threads)
+        assert sorted(t.sw_id for t in pick) == [0, 1]
+
+
+class TestWarmup:
+    def test_warmup_resets_statistics(self):
+        tasker, core = _tasker()
+        res = tasker.run(instr_limit=1_000, warmup_instrs=300)
+        # the warmup instructions are not in the reported totals
+        assert max(t.issued_instrs for t in res.threads) == 1_000
+        assert core.stats.ops > 0
+
+    def test_warmup_keeps_caches_warm(self):
+        from repro.sim.cache import Cache, CacheConfig
+        prog = compile_kernel(build_saxpy(), MACHINE)
+        core = MTCore(MACHINE, get_scheme("ST"), PerfectCache(),
+                      Cache(CacheConfig()))
+        tasker = Multitasker(core, [ThreadState(prog, 0, seed=0)],
+                             timeslice=10_000)
+        res = tasker.run(instr_limit=500, warmup_instrs=400)
+        cold_rate = res.dcache.miss_rate()
+        core2 = MTCore(MACHINE, get_scheme("ST"), PerfectCache(),
+                       Cache(CacheConfig()))
+        tasker2 = Multitasker(core2, [ThreadState(prog, 0, seed=0)],
+                              timeslice=10_000)
+        res2 = tasker2.run(instr_limit=500, warmup_instrs=0)
+        assert cold_rate <= res2.dcache.miss_rate()

@@ -1,0 +1,101 @@
+"""Pareto / recommendation utilities (the Section 5.2 walk, mechanized)."""
+
+import pytest
+
+from repro.eval.pareto import DesignPoint, design_points, pareto_frontier, recommend
+
+#: full-scale fig10 averages (results/fig10.json) - fixed inputs keep
+#: these tests fast and deterministic.
+AVG_IPC = {
+    "1S": 3.34,
+    "2CC": 3.80,
+    "C4,3CCC": 3.92,
+    "2SC": 4.43,
+    "2SC3,3SCC": 4.57,
+    "3CSC": 4.78,
+    "2C3S,3CCS": 4.79,
+    "2CS": 4.92,
+    "3SSC": 5.15,
+    "3SCS": 5.19,
+    "3CSS": 5.34,
+    "2SS": 5.41,
+    "3SSS": 5.58,
+}
+
+
+@pytest.fixture(scope="module")
+def points():
+    return design_points(AVG_IPC)
+
+
+class TestDesignPoints:
+    def test_all_schemes_joined(self, points):
+        assert len(points) == 16  # 15 + 1S
+
+    def test_grouped_labels_flatten(self, points):
+        by = {p.scheme: p for p in points}
+        assert by["C4"].ipc == by["3CCC"].ipc == 3.92
+        assert by["C4"].transistors != by["3CCC"].transistors
+
+    def test_dominance(self):
+        a = DesignPoint("a", 5.0, 100, 10)
+        b = DesignPoint("b", 4.0, 200, 12)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_no_self_dominance(self):
+        a = DesignPoint("a", 5.0, 100, 10)
+        assert not a.dominates(DesignPoint("b", 5.0, 100, 10))
+
+
+class TestFrontier:
+    def test_frontier_is_non_dominated(self, points):
+        front = pareto_frontier(points)
+        for p in front:
+            assert not any(q.dominates(p) for q in points)
+
+    def test_paper_sweet_spots_on_frontier(self, points):
+        names = {p.scheme for p in pareto_frontier(points)}
+        # Section 5.2: 3CCC/2CC if even 1S is unaffordable; 2SC3/3SCC at
+        # 1S cost; 3SSS for peak performance
+        assert "2SC3" in names or "3SCC" in names
+        assert "3SSS" in names
+        assert names & {"2CC", "3CCC", "C4"}
+
+    def test_dominated_trees_off_frontier(self, points):
+        names = {p.scheme for p in pareto_frontier(points)}
+        # 2SC: two SMT blocks for less IPC than cheaper 3CSC/2CS
+        assert "2SC" not in names
+
+    def test_sorted_by_cost(self, points):
+        front = pareto_frontier(points)
+        costs = [p.transistors for p in front]
+        assert costs == sorted(costs)
+
+
+class TestRecommend:
+    def test_unlimited_budget_gives_3sss(self, points):
+        assert recommend(points).scheme == "3SSS"
+
+    def test_1s_budget_gives_2sc3_class(self, points):
+        by = {p.scheme: p for p in points}
+        budget = round(by["1S"].transistors * 1.1)
+        pick = recommend(points, max_transistors=budget)
+        assert pick.scheme in ("2SC3", "3SCC")
+        assert pick.ipc > by["1S"].ipc
+
+    def test_tiny_budget_gives_pure_csmt(self, points):
+        pick = recommend(points, max_transistors=1_000)
+        assert pick.scheme in ("C4", "3CCC", "2CC")
+
+    def test_delay_budget(self, points):
+        pick = recommend(points, max_gate_delays=14)
+        assert pick.scheme in ("2SC3", "2SC", "1S")
+        assert pick.ipc >= 4.4
+
+    def test_impossible_budget(self, points):
+        assert recommend(points, max_transistors=10) is None
+
+    def test_combined_budget(self, points):
+        pick = recommend(points, max_transistors=5_000, max_gate_delays=20)
+        assert pick.scheme in ("2SC3", "3SCC")

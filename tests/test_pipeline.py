@@ -1,0 +1,129 @@
+"""End-to-end compiler pipeline tests."""
+
+import pytest
+
+from repro.arch import paper_machine, small_machine
+from repro.compiler import CompilerOptions, compile_kernel
+from tests.conftest import build_saxpy, build_serial, build_wide
+
+MACHINE = paper_machine()
+
+
+class TestCompile:
+    def test_program_validates_against_machine(self, saxpy_prog):
+        saxpy_prog.validate()  # raises on any illegal MultiOp
+
+    def test_addresses_monotonic(self, saxpy_prog):
+        addrs = [m.address for b in saxpy_prog.blocks for m in b.mops]
+        assert addrs == sorted(addrs)
+        assert len(set(addrs)) == len(addrs)
+
+    def test_meta_reports_unroll_and_copies(self, saxpy_prog):
+        assert saxpy_prog.meta["unroll"] == {"loop": 4}
+        assert saxpy_prog.meta["xcopies"] >= 0
+        assert saxpy_prog.meta["static_ipc"] > 1
+
+    def test_branches_metadata(self, saxpy_prog):
+        blk = saxpy_prog.blocks[0]
+        infos = [bi for bi in blk.branches if bi is not None]
+        assert len(infos) == 1
+        assert infos[0].is_terminator
+        assert infos[0].target == 0
+        assert blk.branches[-1] is infos[0]  # terminator in last MultiOp
+
+    def test_dump_is_readable(self, saxpy_prog):
+        text = saxpy_prog.dump()
+        assert "loop:" in text
+        assert "mpy" in text
+        assert "trip=" in text
+
+    def test_unrolling_raises_static_ipc(self):
+        p1 = compile_kernel(build_saxpy(), MACHINE, unroll_hints={"loop": 1})
+        p8 = compile_kernel(build_saxpy(), MACHINE, unroll_hints={"loop": 8})
+        assert p8.static_ipc() > 1.5 * p1.static_ipc()
+
+    def test_serial_kernel_stays_narrow(self, serial_prog):
+        # a pure dependence chain gains nothing from clustering
+        masks = [m.mask for b in serial_prog.blocks for m in b.mops if m.n_ops]
+        multi = [m for m in masks if bin(m).count("1") > 2]
+        assert len(multi) <= len(masks) // 4
+
+    def test_wide_kernel_spreads_clusters(self, wide_prog):
+        # LSU-bound lanes cannot fill every cluster every cycle, but the
+        # kernel must clearly spread beyond the serial kernel's 1 cluster
+        masks = [m.mask for b in wide_prog.blocks for m in b.mops if m.n_ops]
+        assert any(bin(m).count("1") >= 3 for m in masks)
+        used = set()
+        for m in masks:
+            used |= {c for c in range(4) if m >> c & 1}
+        assert used == {0, 1, 2, 3}
+
+    def test_compiles_for_small_machine(self):
+        prog = compile_kernel(build_saxpy(), small_machine(),
+                              unroll_hints={"loop": 2})
+        prog.validate()
+        assert prog.machine.n_clusters == 2
+
+
+class TestOptions:
+    def test_cluster_policy_single(self):
+        prog = compile_kernel(build_wide(), MACHINE,
+                              CompilerOptions(cluster_policy="single"))
+        for blk in prog.blocks:
+            for mop in blk.mops:
+                assert mop.mask in (0, 1)
+
+    def test_roundrobin_spreads_artificially(self):
+        prog = compile_kernel(build_serial(), MACHINE,
+                              CompilerOptions(cluster_policy="roundrobin"))
+        assert prog.meta["xcopies"] > 0
+
+    def test_unroll_scale(self):
+        opts = CompilerOptions(unroll_scale=2.0)
+        prog = compile_kernel(build_saxpy(), MACHINE, opts,
+                              unroll_hints={"loop": 2})
+        assert prog.meta["unroll"] == {"loop": 4}
+
+    def test_unroll_override(self):
+        opts = CompilerOptions(unroll={"loop": 6})
+        prog = compile_kernel(build_saxpy(), MACHINE, opts,
+                              unroll_hints={"loop": 2})
+        assert prog.meta["unroll"] == {"loop": 6}
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            CompilerOptions(cluster_policy="nope")
+
+    def test_speculation_toggle_compiles(self):
+        compile_kernel(build_saxpy(), MACHINE,
+                       CompilerOptions(speculate=False))
+
+
+class TestNopRows:
+    @staticmethod
+    def _gapped_prog():
+        """A pure multiply chain: 2-cycle latencies force empty rows."""
+        from repro.ir import KernelBuilder
+
+        b = KernelBuilder("chain")
+        b.param("i")
+        b.live_out("i")
+        b.block("loop")
+        x = b.mpy(None, "i", 3)
+        y = b.mpy(None, x, 3)
+        z = b.mpy(None, y, 3)
+        w = b.mpy(None, z, 3)
+        b.mov("i", w)
+        b.goto("loop")
+        return compile_kernel(b.build(), MACHINE)
+
+    def test_latency_gaps_become_nops(self):
+        blk = self._gapped_prog().blocks[0]
+        assert any(m.n_ops == 0 for m in blk.mops)
+
+    def test_nop_rows_have_addresses_and_size(self):
+        for blk in self._gapped_prog().blocks:
+            for mop in blk.mops:
+                if mop.n_ops == 0:
+                    assert mop.size == 4
+                    assert mop.address > 0

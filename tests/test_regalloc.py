@@ -1,0 +1,154 @@
+"""Register-allocation tests: liveness, intervals, pressure."""
+
+import pytest
+
+from repro.arch import paper_machine
+from repro.arch.machine import ClusterSpec, Machine
+from repro.compiler import compile_kernel
+from repro.compiler.regalloc import RegPressureError, allocate_registers, compute_liveness
+from repro.compiler.cluster import assign_clusters
+from repro.compiler.ddg import build_ddg
+from repro.compiler.scheduler import list_schedule
+from repro.ir import KernelBuilder
+from tests.conftest import build_saxpy, build_wide
+
+MACHINE = paper_machine()
+
+
+def _compile_block(build, machine=MACHINE):
+    b = KernelBuilder("k")
+    b.pattern("p", "table", 4096)
+    b.param("i")
+    b.block("main")
+    build(b)
+    fn = b.build()
+    ops = list(fn.blocks[0].ops)
+
+    def lat(op):
+        return machine.latency_of(op.opcode.op_class)
+
+    ddg = build_ddg(ops, lat, fn.live_out)
+    clusters = assign_clusters(ops, ddg, machine, "bug")
+    sched = list_schedule(ops, clusters, ddg, machine)
+    return fn, ops, clusters, sched
+
+
+class TestLiveness:
+    def test_param_live_across_restart_edge(self):
+        fn, ops, clusters, sched = _compile_block(
+            lambda b: [b.add("i", "i", 1)]
+        )
+        live_in, live_out = compute_liveness(
+            [(ops, sched)], {0: [0]}, fn.live_out
+        )
+        assert "i" in live_in[0]
+        assert "i" in live_out[0]
+
+    def test_block_local_temp_not_live_out(self):
+        fn, ops, clusters, sched = _compile_block(
+            lambda b: [b.add(None, "i", 1)]
+        )
+        live_in, live_out = compute_liveness(
+            [(ops, sched)], {0: []}, frozenset()
+        )
+        tmp = ops[0].dest
+        assert tmp not in live_out[0]
+
+
+class TestAllocation:
+    def _alloc(self, build, machine=MACHINE):
+        fn, ops, clusters, sched = _compile_block(build, machine)
+        reg_cluster = {}
+        for i, op in enumerate(ops):
+            if op.dest is not None:
+                reg_cluster.setdefault(op.dest, clusters[i])
+            for s in op.reg_srcs():
+                reg_cluster.setdefault(s, clusters[i])
+        alloc = allocate_registers([(ops, sched)], {0: [0]}, reg_cluster,
+                                   machine, fn.live_out)
+        return ops, sched, reg_cluster, alloc
+
+    def test_every_register_mapped(self):
+        ops, sched, rc, alloc = self._alloc(
+            lambda b: [b.add(None, "i", k) for k in range(5)]
+        )
+        for r in rc:
+            assert r in alloc.phys
+
+    def test_phys_number_encodes_cluster(self):
+        ops, sched, rc, alloc = self._alloc(
+            lambda b: [b.add(None, "i", k) for k in range(5)]
+        )
+        R = MACHINE.regs_per_cluster
+        for r, phys in alloc.phys.items():
+            assert phys // R == rc[r]
+
+    def test_overlapping_lives_get_distinct_registers(self):
+        def build(b):
+            vals = [b.add(None, "i", k) for k in range(4)]
+            acc = vals[0]
+            for v in vals[1:]:
+                acc = b.add(None, acc, v)
+        ops, sched, rc, alloc = self._alloc(build)
+        # the four initial temps are simultaneously live before reduction:
+        # within one cluster they must not share a physical register
+        temps = [op.dest for op in ops[:4]]
+        by_cluster = {}
+        for t in temps:
+            by_cluster.setdefault(rc[t], []).append(alloc.phys[t])
+        for regs in by_cluster.values():
+            assert len(set(regs)) == len(regs)
+
+    def test_pressure_reported(self):
+        ops, sched, rc, alloc = self._alloc(
+            lambda b: [b.add(None, "i", k) for k in range(6)]
+        )
+        assert max(alloc.max_pressure.values()) >= 1
+
+    def test_pressure_error_on_tiny_file(self):
+        tiny = Machine(n_clusters=1, cluster=ClusterSpec(), regs_per_cluster=3)
+
+        def build(b):
+            vals = [b.add(None, "i", k) for k in range(6)]
+            acc = vals[0]
+            for v in vals[1:]:
+                acc = b.add(None, acc, v)
+
+        with pytest.raises(RegPressureError, match="out of registers"):
+            self._alloc(build, tiny)
+
+    def test_missing_home_cluster_raises(self):
+        fn, ops, clusters, sched = _compile_block(
+            lambda b: [b.add(None, "i", 1)]
+        )
+        with pytest.raises(KeyError, match="owning cluster"):
+            allocate_registers([(ops, sched)], {0: []}, {}, MACHINE)
+
+
+class TestEndToEndAllocation:
+    def test_saxpy_within_register_files(self):
+        prog = compile_kernel(build_saxpy(), MACHINE, unroll_hints={"loop": 8})
+        assert max(prog.meta["reg_pressure"].values()) <= MACHINE.regs_per_cluster
+
+    def test_operations_reference_allocated_registers(self):
+        prog = compile_kernel(build_wide(), MACHINE)
+        R = MACHINE.regs_per_cluster
+        for blk in prog.blocks:
+            for mop in blk.mops:
+                for op in mop.ops:
+                    if op.dest >= 0 and op.opcode.name != "xcopy":
+                        assert op.dest // R == op.cluster
+                    for s in op.srcs:
+                        assert 0 <= s < R * MACHINE.n_clusters
+
+    def test_xcopy_dest_in_remote_cluster(self):
+        prog = compile_kernel(build_saxpy(), MACHINE, unroll_hints={"loop": 4})
+        R = MACHINE.regs_per_cluster
+        found = 0
+        for blk in prog.blocks:
+            for mop in blk.mops:
+                for op in mop.ops:
+                    if op.opcode.name == "xcopy":
+                        found += 1
+                        assert op.dest // R != op.cluster
+        assert found > 0

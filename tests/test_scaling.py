@@ -1,0 +1,122 @@
+"""Beyond the paper's 4 threads: 8-thread schemes and wider machines.
+
+The paper's motivation (Figure 5) models merge-control cost up to 8
+threads; the scheme grammar, cost model and simulator all generalize, so
+we verify the machinery end to end at that scale.
+"""
+
+import pytest
+
+from repro.arch import paper_machine, wide_machine
+from repro.compiler import compile_kernel
+from repro.cost import csmt_serial, scheme_cost
+from repro.merge import get_scheme, parse_scheme
+from repro.merge.packet import MergeRules
+from repro.sim import SimConfig, run_workload
+from tests.conftest import build_saxpy, build_serial
+
+
+class TestEightThreadSchemes:
+    def test_c8_parses(self):
+        s = parse_scheme("C8", n_threads=8)
+        assert s.n_ports == 8
+
+    def test_long_cascade_parses(self):
+        s = parse_scheme("7SCCCCCC", n_threads=8)
+        assert s.n_ports == 8
+        assert s.count_blocks() == {"S": 1, "C": 6, "parC": 0}
+
+    def test_hybrid_with_parallel_block(self):
+        s = parse_scheme("2SC7", n_threads=8)
+        assert s.n_ports == 8
+        assert s.count_blocks() == {"S": 1, "C": 0, "parC": 1}
+
+    def test_c8_equivalent_to_cascade(self):
+        """Functional equivalence holds at any width."""
+        import random
+
+        from tests.conftest import packet
+
+        machine = paper_machine()
+        rules = MergeRules(machine)
+        c8 = parse_scheme("C8", n_threads=8)
+        cascade = parse_scheme("7CCCCCCC", n_threads=8)
+        rng = random.Random(42)
+        for _ in range(200):
+            ports = []
+            for p in range(8):
+                if rng.random() < 0.3:
+                    ports.append(None)
+                    continue
+                clusters = {c: (rng.randint(1, 2), 0, 0, 0)
+                            for c in range(4) if rng.random() < 0.4}
+                clusters = clusters or {rng.randrange(4): (1, 0, 0, 0)}
+                ports.append(packet(machine, clusters, p))
+            a = c8.select(ports, rules)
+            b = cascade.select(ports, rules)
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.ports == b.ports
+
+    def test_cost_model_scales(self):
+        c4 = scheme_cost(get_scheme("C4"))
+        c8 = scheme_cost(parse_scheme("C8", n_threads=8))
+        assert c8.transistors > 10 * c4.transistors  # exponential block
+        big = scheme_cost(parse_scheme("7SCCCCCC", n_threads=8))
+        assert big.transistors < 2 * scheme_cost(get_scheme("3SCC")).transistors
+
+    def test_eight_context_simulation(self):
+        machine = paper_machine()
+        progs = [compile_kernel(build_serial(), machine)] * 8
+        cfg = SimConfig(instr_limit=800, timeslice=400, warmup_instrs=100)
+        res8 = run_workload(progs, "7SCCCCCC", cfg)
+        res4 = run_workload(progs[:4], "3SCC", cfg)
+        assert res8.ipc > res4.ipc  # more narrow threads, more merging
+
+    def test_csmt_supports_more_threads_cheaply(self):
+        """The paper's core scaling argument, at the cost level."""
+        assert csmt_serial(8).transistors < scheme_cost(get_scheme("1S")).transistors / 4
+
+
+class TestWiderMachine:
+    def test_compile_for_8_clusters(self):
+        m = wide_machine()
+        prog = compile_kernel(build_saxpy(), m, unroll_hints={"loop": 8})
+        prog.validate()
+        used = set()
+        for blk in prog.blocks:
+            for mop in blk.mops:
+                used.update(mop.clusters_used())
+        assert len(used) >= 4  # unrolled code spreads over the wider machine
+
+    def test_simulate_on_8_clusters(self):
+        m = wide_machine()
+        prog = compile_kernel(build_saxpy(), m, unroll_hints={"loop": 4})
+        cfg = SimConfig(instr_limit=1_000, timeslice=500, warmup_instrs=100)
+        res = run_workload([prog] * 4, "3CCC", cfg)
+        assert 0 < res.ipc <= m.total_issue_width
+
+    def test_merge_rules_respect_wider_mask(self):
+        m = wide_machine()
+        rules = MergeRules(m)
+        from tests.conftest import packet
+
+        a = packet(m, {6: (2, 0, 0, 0)}, 0)
+        b = packet(m, {7: (2, 0, 0, 0)}, 1)
+        assert rules.try_csmt(a, b) is not None
+        c = packet(m, {6: (3, 0, 0, 0)}, 2)
+        assert rules.try_csmt(a, c) is None
+        assert rules.try_smt(a, c) is None  # 5 ops > 4-wide cluster
+
+
+class TestDiagram:
+    def test_cascade_diagram(self):
+        d = get_scheme("3SCC").diagram()
+        assert "S" in d and "P0" in d and "P3" in d
+
+    def test_parallel_diagram_labels_width(self):
+        assert "C3" in get_scheme("2SC3").diagram()
+
+    def test_tree_diagram(self):
+        d = get_scheme("2CS").diagram()
+        assert d.splitlines()[0].endswith("S")

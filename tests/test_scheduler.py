@@ -1,0 +1,193 @@
+"""List-scheduler tests: resources, slots, terminator pinning."""
+
+import pytest
+
+from repro.arch import paper_machine, small_machine
+from repro.compiler.cluster import assign_clusters
+from repro.compiler.ddg import build_ddg
+from repro.compiler.scheduler import (
+    ScheduleError,
+    list_schedule,
+    validate_schedule,
+)
+from repro.ir import KernelBuilder
+from repro.isa import OpClass
+
+MACHINE = paper_machine()
+
+
+def _lat(op):
+    return MACHINE.latency_of(op.opcode.op_class)
+
+
+def _schedule(build, machine=MACHINE, policy="single"):
+    b = KernelBuilder("k")
+    b.pattern("p", "table", 4096)
+    b.param("i", "j")
+    b.block("main")
+    build(b)
+    ops = list(b.build().blocks[0].ops)
+    ddg = build_ddg(ops, _lat, frozenset())
+    clusters = assign_clusters(ops, ddg, machine, policy)
+    sched = list_schedule(ops, clusters, ddg, machine)
+    validate_schedule(ops, ddg, sched)
+    return ops, clusters, sched
+
+
+class TestResources:
+    def test_mem_cap_one_per_cluster_cycle(self):
+        ops, clusters, sched = _schedule(
+            lambda b: [b.ld(None, "i", "p") for _ in range(3)]
+        )
+        cycles = [sched.placement[i][0] for i in range(3)]
+        assert sorted(cycles) == [0, 1, 2]  # all on cluster 0: serialized
+
+    def test_mem_spreads_with_bug(self):
+        ops, clusters, sched = _schedule(
+            lambda b: [b.ld(None, "i", "p") for _ in range(4)], policy="bug"
+        )
+        at_zero = [i for i in range(4) if sched.placement[i][0] == 0]
+        assert len(at_zero) == 4  # one per cluster
+
+    def test_issue_width_cap(self):
+        ops, clusters, sched = _schedule(
+            lambda b: [b.add(None, "i", k) for k in range(6)]
+        )
+        by_cycle = {}
+        for i in range(6):
+            by_cycle.setdefault(sched.placement[i][0], []).append(i)
+        assert max(len(v) for v in by_cycle.values()) <= 4
+
+    def test_mul_cap_two_per_cluster(self):
+        ops, clusters, sched = _schedule(
+            lambda b: [b.mpy(None, "i", k) for k in range(3)]
+        )
+        c0 = [sched.placement[i][0] for i in range(3)]
+        assert len([c for c in c0 if c == 0]) == 2
+
+    def test_latency_respected(self):
+        ops, clusters, sched = _schedule(
+            lambda b: (b.ld("x", "i", "p"), b.add(None, "x", 1))
+        )
+        assert sched.placement[1][0] >= sched.placement[0][0] + 2
+
+
+class TestSlots:
+    def test_slot_classes_legal(self):
+        ops, clusters, sched = _schedule(
+            lambda b: (b.ld(None, "i", "p"), b.mpy(None, "i", 2),
+                       b.add(None, "i", 1), b.add(None, "j", 1)),
+            policy="single",
+        )
+        spec = MACHINE.cluster
+        for i, op in enumerate(ops):
+            _cy, _c, slot = sched.placement[i]
+            assert slot in spec.slots_for(op.opcode.op_class)
+
+    def test_no_slot_collisions(self):
+        ops, clusters, sched = _schedule(
+            lambda b: [b.add(None, "i", k) for k in range(8)]
+        )
+        seen = set()
+        for i in range(len(ops)):
+            key = sched.placement[i]
+            assert key not in seen
+            seen.add(key)
+
+    def test_restricted_classes_placed_before_alu(self):
+        """A full cluster cycle (mem+br+mul+alu) must route cleanly."""
+        def build(b):
+            b.ld(None, "i", "p")
+            b.mpy(None, "i", 2)
+            b.add(None, "i", 1)
+        ops, clusters, sched = _schedule(build)
+        slots = {ops[i].name: sched.placement[i][2]
+                 for i in range(3) if sched.placement[i][0] == 0}
+        if "ld" in slots:
+            assert slots["ld"] == 0
+        if "mpy" in slots:
+            assert slots["mpy"] in (2, 3)
+
+
+class TestTerminator:
+    def test_terminator_scheduled_last(self):
+        def build(b):
+            v = b.ld(None, "i", "p")
+            w = b.add(None, v, 1)
+            b.st(w, "i", "p")
+            c = b.cmp(None, "i", 4)
+            b.br_loop(c, "main", trip=4)
+        ops, clusters, sched = _schedule(build)
+        term_cycle = sched.placement[len(ops) - 1][0]
+        assert term_cycle == sched.n_cycles - 1
+        for i in range(len(ops) - 1):
+            assert sched.placement[i][0] <= term_cycle
+
+    def test_empty_block(self):
+        sched = list_schedule([], [], build_ddg([], _lat, frozenset()), MACHINE)
+        assert sched.n_cycles == 1
+
+
+class TestValidateSchedule:
+    def test_catches_latency_violation(self):
+        b = KernelBuilder("k")
+        b.pattern("p", "table", 64)
+        b.param("i")
+        b.block("main")
+        b.ld("x", "i", "p")
+        b.add(None, "x", 1)
+        ops = list(b.build().blocks[0].ops)
+        ddg = build_ddg(ops, _lat, frozenset())
+        sched = list_schedule(ops, [0, 0], ddg, MACHINE)
+        sched.placement[1] = (sched.placement[0][0], 0, 3)  # force overlap
+        with pytest.raises(ScheduleError, match="dependence violated"):
+            validate_schedule(ops, ddg, sched)
+
+    def test_catches_op_after_terminator(self):
+        def build(b):
+            b.add("j", "i", 1)
+            c = b.cmp(None, "i", 4)
+            b.br_loop(c, "main", trip=4)
+        ops, clusters, sched = _schedule(build)
+        sched.placement[0] = (sched.n_cycles + 5, 0, 3)
+        with pytest.raises(ScheduleError):
+            validate_schedule(ops, sched and _ddg_of(ops), sched)
+
+
+def _ddg_of(ops):
+    return build_ddg(list(ops), _lat, frozenset())
+
+
+class TestDeterminism:
+    def test_same_input_same_schedule(self):
+        def build(b):
+            for k in range(6):
+                v = b.ld(None, "i", "p")
+                b.add(None, v, k)
+        a = _schedule(build, policy="bug")[2]
+        b_ = _schedule(build, policy="bug")[2]
+        assert a.placement == b_.placement
+
+
+class TestSmallMachine:
+    def test_narrow_cluster_schedules(self):
+        m = small_machine()
+
+        def lat(op):
+            return m.latency_of(op.opcode.op_class)
+
+        b = KernelBuilder("k")
+        b.pattern("p", "table", 64)
+        b.param("i")
+        b.block("main")
+        b.ld(None, "i", "p")
+        b.mpy(None, "i", 3)
+        b.add(None, "i", 1)
+        ops = list(b.build().blocks[0].ops)
+        ddg = build_ddg(ops, lat, frozenset())
+        clusters = assign_clusters(ops, ddg, m, "bug")
+        sched = list_schedule(ops, clusters, ddg, m)
+        validate_schedule(ops, ddg, sched)
+        for i, op in enumerate(ops):
+            _cy, c, slot = sched.placement[i]
+            assert slot in m.cluster.slots_for(op.opcode.op_class)

@@ -1,0 +1,219 @@
+"""Simulator-core tests with hand-analyzable mini programs."""
+
+from repro.arch import paper_machine
+from repro.compiler import compile_kernel
+from repro.ir import KernelBuilder
+from repro.merge import get_scheme
+from repro.sim import MTCore, SimConfig, ThreadState, run_workload
+from repro.sim.cache import Cache, CacheConfig, PerfectCache
+
+MACHINE = paper_machine()
+
+
+def _straightline(n_adds=4, trip=8):
+    """A loop of independent adds: ops and cycles are exactly countable."""
+    b = KernelBuilder("line")
+    b.param("i")
+    b.live_out("i")
+    b.block("loop")
+    for k in range(n_adds):
+        b.add(None, "i", k)
+    b.add("i", "i", 1)
+    c = b.cmp(None, "i", trip)
+    b.br_loop(c, "loop", trip=trip)
+    return compile_kernel(b.build(), MACHINE)
+
+
+def _single_core(prog, scheme="ST", icache=None, dcache=None):
+    core = MTCore(MACHINE, get_scheme(scheme),
+                  icache or PerfectCache(), dcache or PerfectCache())
+    t = ThreadState(prog, 0, seed=0)
+    core.set_contexts([t])
+    return core, t
+
+
+class TestSingleThread:
+    def test_ipc_matches_hand_count(self):
+        prog = _straightline()
+        blk = prog.blocks[0]
+        n_cycles = len(blk.mops)
+        n_ops = blk.n_ops
+        core, t = _single_core(prog)
+        core.run(10_000, instr_limit=n_cycles * 50)
+        # steady state: every iteration = block cycles + 2-cycle taken
+        # penalty on 7 of 8 back edges
+        iters = t.issued_instrs / n_cycles
+        expect_cycles = iters * (n_cycles + 2 * 7 / 8)
+        assert abs(core.stats.cycles - expect_cycles) / expect_cycles < 0.05
+        assert t.issued_ops == iters * n_ops
+
+    def test_taken_branch_costs_two_dead_cycles(self):
+        b = KernelBuilder("g")
+        b.param("i")
+        b.live_out("i")
+        b.block("a")
+        b.add("i", "i", 1)
+        b.goto("a")
+        prog = compile_kernel(b.build(), MACHINE)
+        core, t = _single_core(prog)
+        core.run(300, instr_limit=10_000)
+        n = len(prog.blocks[0].mops)
+        # every lap: n instruction cycles + 2 penalty cycles
+        per_lap = n + 2
+        assert abs(core.stats.cycles / t.issued_instrs - per_lap / n) < 0.1
+
+    def test_dcache_load_miss_stalls(self):
+        b = KernelBuilder("m")
+        b.pattern("big", "stream", 1 << 20, stride=64)  # miss every load
+        b.param("i")
+        b.live_out("i")
+        b.block("loop")
+        b.ld(None, "i", "big")
+        b.add("i", "i", 1)
+        c = b.cmp(None, "i", 64)
+        b.br_loop(c, "loop", trip=64)
+        prog = compile_kernel(b.build(), MACHINE)
+        dcache = Cache(CacheConfig())
+        core, t = _single_core(prog, dcache=dcache)
+        core.run(5_000, instr_limit=200)
+        assert t.dcache_misses > 0
+        # each miss adds 20 cycles to the iteration
+        assert core.stats.cycles > t.dcache_misses * 20
+
+    def test_store_miss_does_not_stall(self):
+        def kernel(op):
+            b = KernelBuilder("s")
+            b.pattern("big", "stream", 1 << 20, stride=64)
+            b.param("i")
+            b.live_out("i")
+            b.block("loop")
+            if op == "st":
+                b.st("i", "i", "big")
+            else:
+                b.ld(None, "i", "big")
+            b.add("i", "i", 1)
+            c = b.cmp(None, "i", 64)
+            b.br_loop(c, "loop", trip=64)
+            return compile_kernel(b.build(), MACHINE)
+
+        results = {}
+        for op in ("st", "ld"):
+            core, t = _single_core(kernel(op), dcache=Cache(CacheConfig()))
+            core.run(20_000, instr_limit=300)
+            results[op] = core.stats.cycles
+        assert results["ld"] > 2 * results["st"]
+
+    def test_icache_miss_stalls_fetch(self):
+        prog = _straightline(n_adds=4, trip=8)
+        icache = Cache(CacheConfig(size=256, assoc=1, line=64))  # tiny
+        core, t = _single_core(prog, icache=icache)
+        core.run(5_000, instr_limit=100)
+        assert t.icache_misses > 0
+
+    def test_instr_limit_stops_run(self):
+        prog = _straightline()
+        core, t = _single_core(prog)
+        reason = core.run(100_000, instr_limit=50)
+        assert reason == "limit"
+        assert t.issued_instrs == 50
+
+    def test_timeslice_stops_run(self):
+        prog = _straightline()
+        core, t = _single_core(prog)
+        reason = core.run(100, instr_limit=None)
+        assert reason == "timeslice"
+        assert core.stats.cycles == 100
+
+
+class TestMultiThread:
+    def _pair(self, scheme):
+        prog = _straightline(n_adds=2)
+        core = MTCore(MACHINE, get_scheme(scheme), PerfectCache(),
+                      PerfectCache())
+        ts = [ThreadState(prog, i, seed=i) for i in range(2)]
+        core.set_contexts(ts)
+        core.run(2_000, instr_limit=500)
+        return core, ts
+
+    def test_smt_two_threads_beat_one(self):
+        prog = _straightline(n_adds=2)
+        core1, _ = _single_core(prog)
+        core1.run(2_000, instr_limit=500)
+        core2, _ = self._pair("1S")
+        assert core2.stats.ipc > 1.4 * core1.stats.ipc
+
+    def test_rotation_keeps_threads_balanced(self):
+        core, ts = self._pair("1S")
+        a, b = ts[0].issued_instrs, ts[1].issued_instrs
+        assert abs(a - b) / max(a, b) < 0.15
+
+    def test_fixed_priority_starves_late_ports(self):
+        prog = _straightline(n_adds=2)
+        core = MTCore(MACHINE, get_scheme("3CCC"), PerfectCache(),
+                      PerfectCache(), rotate=False)
+        # threads all on cluster-0-heavy code: port 0 wins every conflict
+        ts = [ThreadState(prog, i, seed=i) for i in range(4)]
+        core.set_contexts(ts)
+        core.run(3_000, instr_limit=2_000)
+        counts = sorted(t.issued_instrs for t in ts)
+        assert counts[-1] > 2 * counts[0]
+
+    def test_merged_hist_counts_coissue(self):
+        core, ts = self._pair("1S")
+        hist = core.stats.merged_hist
+        assert 2 in hist and hist[2] > 0
+
+    def test_vertical_waste_counted(self):
+        b = KernelBuilder("w")
+        b.pattern("big", "stream", 1 << 22, stride=64)
+        b.param("i")
+        b.live_out("i")
+        b.block("loop")
+        b.ld(None, "i", "big")
+        b.add("i", "i", 1)
+        c = b.cmp(None, "i", 32)
+        b.br_loop(c, "loop", trip=32)
+        prog = compile_kernel(b.build(), MACHINE)
+        core = MTCore(MACHINE, get_scheme("ST"), PerfectCache(),
+                      Cache(CacheConfig()))
+        core.set_contexts([ThreadState(prog, 0, seed=0)])
+        core.run(3_000, instr_limit=60)
+        assert core.stats.vertical_waste > 0
+
+
+class TestRunWorkload:
+    def test_four_thread_run(self, saxpy_prog):
+        cfg = SimConfig(instr_limit=2_000, timeslice=500, warmup_instrs=200)
+        res = run_workload([saxpy_prog] * 4, "3SSS", cfg)
+        assert res.ipc > 0
+        assert len(res.threads) == 4
+        assert all(t.issued_instrs > 0 for t in res.threads)
+
+    def test_deterministic_given_seed(self, saxpy_prog):
+        cfg = SimConfig(instr_limit=1_000, timeslice=300, warmup_instrs=0,
+                        seed=5)
+        a = run_workload([saxpy_prog] * 4, "2SC3", cfg)
+        b = run_workload([saxpy_prog] * 4, "2SC3", cfg)
+        assert a.stats.cycles == b.stats.cycles
+        assert a.stats.ops == b.stats.ops
+
+    def test_seed_changes_outcome(self, saxpy_prog):
+        base = SimConfig(instr_limit=1_000, timeslice=300, warmup_instrs=0)
+        import dataclasses
+        a = run_workload([saxpy_prog] * 4, "2SC3", base)
+        b = run_workload([saxpy_prog] * 4, "2SC3",
+                         dataclasses.replace(base, seed=99))
+        assert a.stats.cycles != b.stats.cycles
+
+    def test_ipc_bounded_by_issue_width(self, saxpy_prog):
+        cfg = SimConfig(instr_limit=1_000, timeslice=300, warmup_instrs=0)
+        res = run_workload([saxpy_prog] * 4, "3SSS", cfg)
+        assert res.ipc <= MACHINE.total_issue_width
+
+    def test_per_thread_reporting(self, saxpy_prog):
+        cfg = SimConfig(instr_limit=500, timeslice=200, warmup_instrs=0)
+        res = run_workload([saxpy_prog] * 2, "1S", cfg)
+        per = res.per_thread()
+        assert len(per) == 2
+        for stats in per.values():
+            assert stats["instrs"] > 0

@@ -1,0 +1,150 @@
+"""Trace-generation tests: determinism, control flow, addresses."""
+
+from collections import Counter
+
+from repro.arch import paper_machine
+from repro.compiler import compile_kernel
+from repro.ir import KernelBuilder
+from repro.trace import InstructionStream
+from repro.trace.addrgen import make_generator
+from repro.ir.patterns import AccessPattern
+import random
+
+MACHINE = paper_machine()
+
+
+def _take(stream, n):
+    return [next(stream) for _ in range(n)]
+
+
+def _mini_loop(trip=4, prob=0.0):
+    b = KernelBuilder("mini")
+    b.pattern("d", "stream", 1024, stride=4)
+    b.param("i")
+    b.live_out("i")
+    b.block("loop")
+    v = b.ld(None, "i", "d")
+    if prob:
+        c0 = b.cmp(None, v, 0)
+        b.br_if(c0, "rare", prob=prob)
+    b.add("i", "i", 4)
+    c = b.cmp(None, "i", 4 * trip)
+    b.br_loop(c, "loop", trip=trip)
+    b.block("rare") if prob else None
+    if prob:
+        b.add("i", "i", 8)
+        b.goto("loop")
+    return compile_kernel(b.build(), MACHINE)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        prog = _mini_loop(prob=0.3)
+        a = _take(InstructionStream(prog, 0, seed=7), 200)
+        b = _take(InstructionStream(prog, 0, seed=7), 200)
+        assert [(f.mop.address, f.taken, f.addrs) for f in a] == \
+            [(f.mop.address, f.taken, f.addrs) for f in b]
+
+    def test_different_seed_different_branches(self):
+        prog = _mini_loop(prob=0.5)
+        a = _take(InstructionStream(prog, 0, seed=1), 300)
+        b = _take(InstructionStream(prog, 0, seed=2), 300)
+        assert [f.taken for f in a] != [f.taken for f in b]
+
+
+class TestControlFlow:
+    def test_loop_executes_trip_times_per_round(self):
+        prog = _mini_loop(trip=4)
+        blk = prog.blocks[0]
+        per_round = len(blk.mops) * 4
+        fetches = _take(InstructionStream(prog, 0, seed=0), per_round * 3)
+        term = [f for f in fetches if f.branch and f.branch.is_terminator]
+        takens = [f.taken for f in term]
+        # pattern: taken,taken,taken,not - repeated
+        assert takens[:8] == [True, True, True, False] * 2
+
+    def test_restart_after_falloff(self):
+        prog = _mini_loop(trip=2)
+        stream = InstructionStream(prog, 0, seed=0)
+        first = next(stream).mop.address
+        seen = [next(stream).mop.address for _ in range(100)]
+        assert first in seen  # wrapped back to the entry
+
+    def test_bernoulli_rate_matches_probability(self):
+        prog = _mini_loop(prob=0.4)
+        fetches = _take(InstructionStream(prog, 0, seed=3), 6000)
+        side = [f for f in fetches
+                if f.branch is not None and not f.branch.is_terminator
+                and f.branch.behavior.kind == "bernoulli"
+                and f.branch.behavior.prob < 1.0]
+        rate = sum(f.taken for f in side) / len(side)
+        assert 0.3 < rate < 0.5
+
+    def test_side_exit_skips_block_tail(self):
+        prog = _mini_loop(prob=1.0)  # always exits
+        stream = InstructionStream(prog, 0, seed=0)
+        fetches = _take(stream, 50)
+        # after a taken side exit, next fetch is the rare block's address
+        rare_base = prog.blocks[1].mops[0].address
+        for i, f in enumerate(fetches[:-1]):
+            if f.taken and f.branch and not f.branch.is_terminator:
+                assert fetches[i + 1].mop.address == rare_base
+                break
+        else:
+            raise AssertionError("no side exit observed")
+
+
+class TestAddresses:
+    def test_stream_addresses_stride_and_wrap(self):
+        pat = AccessPattern("s", "stream", footprint=16, stride=4)
+        g = make_generator(pat, 0, 0, random.Random(0))
+        offs = [g.next_address() for _ in range(6)]
+        assert [o - offs[0] for o in offs[:4]] == [0, 4, 8, 12]
+        assert offs[4] == offs[0]  # wrapped
+
+    def test_random_addresses_within_footprint_aligned(self):
+        pat = AccessPattern("r", "rand", footprint=256, align=8)
+        g = make_generator(pat, 0, 0, random.Random(0))
+        for _ in range(100):
+            a = g.next_address()
+            assert a % 8 == 0
+            assert 0 <= a - g.base < 256
+
+    def test_thread_spaces_disjoint(self):
+        pat = AccessPattern("r", "rand", footprint=1 << 20, align=4)
+        g0 = make_generator(pat, 0, 0, random.Random(0))
+        g1 = make_generator(pat, 1, 0, random.Random(0))
+        a0 = {g0.next_address() >> 32 for _ in range(10)}
+        a1 = {g1.next_address() >> 32 for _ in range(10)}
+        assert a0.isdisjoint(a1)
+
+    def test_pattern_regions_disjoint_within_thread(self):
+        p0 = AccessPattern("a", "rand", footprint=1 << 20, align=4)
+        p1 = AccessPattern("b", "rand", footprint=1 << 20, align=4)
+        g0 = make_generator(p0, 0, 0, random.Random(0))
+        g1 = make_generator(p1, 0, 1, random.Random(0))
+        r0 = {g0.next_address() >> 24 for _ in range(10)}
+        r1 = {g1.next_address() >> 24 for _ in range(10)}
+        assert r0.isdisjoint(r1)
+
+    def test_fetch_addr_count_matches_mem_ops(self):
+        prog = _mini_loop()
+        for f in _take(InstructionStream(prog, 0, seed=0), 60):
+            assert len(f.addrs) == len(f.mop.mem_ops)
+
+
+class TestFetchDistribution:
+    def test_every_static_instr_fetched(self):
+        prog = _mini_loop(trip=4)
+        static = {m.address for b in prog.blocks for m in b.mops}
+        fetched = {f.mop.address for f in
+                   _take(InstructionStream(prog, 0, seed=0), 400)}
+        assert static <= fetched
+
+    def test_fetch_counts_weighted_by_loop(self):
+        prog = _mini_loop(trip=4)
+        fetches = _take(InstructionStream(prog, 0, seed=0), 400)
+        counts = Counter(f.mop.address for f in fetches)
+        most = counts.most_common()
+        # loop-body instructions dominate the fetch stream
+        assert most[0][1] > 10

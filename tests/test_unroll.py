@@ -1,0 +1,153 @@
+"""Unroller tests: renaming, IV splitting, DCE, trip adjustment."""
+
+from repro.compiler.options import CompilerOptions
+from repro.compiler.unroll import dead_code_eliminate, unroll_function
+from repro.ir import KernelBuilder
+
+
+def _loop_kernel(trip=64):
+    b = KernelBuilder("k")
+    b.pattern("d", "stream", 4096, stride=4)
+    b.param("i", "acc")
+    b.live_out("i", "acc")
+    b.block("loop")
+    v = b.ld(None, "i", "d")
+    w = b.add(None, v, 1)
+    b.add("acc", "acc", w)          # loop-carried accumulator
+    b.add("i", "i", 4)              # induction variable
+    c = b.cmp(None, "i", 4 * trip)
+    b.br_loop(c, "loop", trip=trip)
+    return b.build()
+
+
+def _unrolled(factor, **opts):
+    fn = _loop_kernel()
+    options = CompilerOptions(**opts)
+    out, report = unroll_function(fn, {"loop": factor}, options)
+    return out, report
+
+
+class TestUnrollBasics:
+    def test_factor_one_is_identity(self):
+        out, report = _unrolled(1)
+        assert report.factors == {}
+        assert len(out.blocks[0].ops) == len(_loop_kernel().blocks[0].ops)
+
+    def test_body_replicated(self):
+        out, _ = _unrolled(4)
+        loads = [op for op in out.blocks[0].ops if op.name == "ld"]
+        assert len(loads) == 4
+
+    def test_single_back_edge_remains(self):
+        out, _ = _unrolled(4)
+        branches = [op for op in out.blocks[0].ops if op.is_branch]
+        assert len(branches) == 1
+        assert branches[0] is out.blocks[0].ops[-1]
+
+    def test_trip_count_scaled(self):
+        out, _ = _unrolled(4)
+        assert out.blocks[0].terminator.behavior.trip == 16
+
+    def test_copy_tags_mark_mem_ops(self):
+        out, _ = _unrolled(4)
+        tags = [op.copy_tag for op in out.blocks[0].ops if op.is_mem]
+        assert tags == [0, 1, 2, 3]
+
+
+class TestIVSplitting:
+    def test_single_iv_update_survives(self):
+        out, report = _unrolled(4)
+        iv_defs = [op for op in out.blocks[0].ops
+                   if op.dest == "i" and op.name in ("add", "sub")]
+        assert len(iv_defs) == 1
+        assert iv_defs[0].srcs == ("i", 16)  # 4 iterations x stride 4
+        assert report.ivs_split == {"loop": ["i"]}
+
+    def test_shadow_offsets_are_independent(self):
+        out, _ = _unrolled(4)
+        shadows = [op for op in out.blocks[0].ops if op.dest and "$" in op.dest]
+        assert len(shadows) == 3
+        assert sorted(op.srcs[1] for op in shadows) == [4, 8, 12]
+        for op in shadows:
+            assert op.srcs[0] == "i"  # all off the live-in value
+
+    def test_iv_split_disabled_chains_updates(self):
+        out, report = _unrolled(4, iv_split=False)
+        # the increment is replicated per copy (renamed, final keeps "i"):
+        # a serial chain instead of independent shadows
+        iv_defs = [op for op in out.blocks[0].ops
+                   if op.dest is not None and op.dest.split("@")[0] == "i"]
+        assert len(iv_defs) == 4
+        assert report.ivs_split == {"loop": []}
+        assert not any("$" in (op.dest or "") for op in out.blocks[0].ops)
+
+    def test_accumulator_is_not_an_iv(self):
+        """acc = acc + w has a non-immediate addend: must chain serially."""
+        out, report = _unrolled(4)
+        assert "acc" not in report.ivs_split["loop"]
+        acc_defs = [op for op in out.blocks[0].ops
+                    if op.dest is not None and op.dest.startswith("acc")]
+        assert len(acc_defs) == 4
+
+    def test_final_copy_restores_architectural_names(self):
+        out, _ = _unrolled(4)
+        # the last definition of acc must write "acc" itself (live-out)
+        acc_defs = [op for op in out.blocks[0].ops
+                    if op.dest is not None and op.dest.startswith("acc")]
+        assert acc_defs[-1].dest == "acc"
+        assert all(d.dest != "acc" for d in acc_defs[:-1])
+
+
+class TestDCE:
+    def test_dropped_compares_eliminated(self):
+        out, report = _unrolled(4)
+        cmps = [op for op in out.blocks[0].ops if op.name == "cmp"]
+        assert len(cmps) == 1  # intermediate back-edge cmps are dead
+        assert report.ops_removed_by_dce >= 3
+
+    def test_dce_keeps_stores_and_branches(self):
+        b = KernelBuilder("k")
+        b.pattern("d", "table", 64)
+        b.param("i")
+        b.block("main")
+        dead = b.add(None, "i", 1)     # never used
+        live = b.add(None, "i", 2)
+        b.st(live, "i", "d")
+        fn = b.build()
+        removed = dead_code_eliminate(fn)
+        assert removed == 1
+        names = [op.name for op in fn.blocks[0].ops]
+        assert names == ["add", "st"]
+        del dead
+
+    def test_dce_transitive(self):
+        b = KernelBuilder("k")
+        b.param("i")
+        b.block("main")
+        a = b.add(None, "i", 1)
+        c = b.add(None, a, 2)      # chain ends unused
+        b.add("i", "i", 1)
+        fn = b.build()
+        assert dead_code_eliminate(fn) == 2
+        del c
+
+
+class TestSideExits:
+    def test_side_exits_replicated_per_copy(self):
+        b = KernelBuilder("k")
+        b.pattern("d", "table", 64)
+        b.param("i")
+        b.block("loop")
+        v = b.ld(None, "i", "d")
+        c = b.cmp(None, v, 0)
+        b.br_if(c, "rare", prob=0.05)
+        b.add("i", "i", 1)
+        t = b.cmp(None, "i", 64)
+        b.br_loop(t, "loop", trip=64)
+        b.block("rare")
+        b.st("i", "i", "d")
+        b.goto("loop")
+        fn = b.build()
+        out, _ = unroll_function(fn, {"loop": 4}, CompilerOptions())
+        exits = [op for op in out.blocks[0].body_ops() if op.is_branch]
+        assert len(exits) == 4  # one side exit per copy

@@ -1,0 +1,74 @@
+"""Workload (Table 2) and generator tests."""
+
+import pytest
+
+from repro.arch import paper_machine
+from repro.kernels import by_name
+from repro.workloads import (
+    TABLE2,
+    WORKLOAD_ORDER,
+    all_class_combos,
+    make_workload,
+    workload_programs,
+)
+
+MACHINE = paper_machine()
+
+
+class TestTable2:
+    def test_nine_workloads(self):
+        assert len(TABLE2) == 9
+        assert set(WORKLOAD_ORDER) == set(TABLE2)
+
+    def test_verbatim_rows(self):
+        assert TABLE2["LLLL"] == ("mcf", "bzip2", "blowfish", "gsmencode")
+        assert TABLE2["LLHH"] == ("mcf", "blowfish", "x264", "idct")
+        assert TABLE2["HHHH"] == ("x264", "idct", "imgpipe", "colorspace")
+
+    def test_names_match_ilp_classes(self):
+        for combo, benches in TABLE2.items():
+            classes = "".join(sorted(by_name(b).ilp_class for b in benches))
+            assert classes == "".join(sorted(combo)), combo
+
+    def test_programs_compiled_in_thread_order(self):
+        progs = workload_programs("LLHH", MACHINE)
+        assert [p.name for p in progs] == list(TABLE2["LLHH"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError, match="Table 2"):
+            workload_programs("XXXX", MACHINE)
+
+
+class TestGenerator:
+    def test_combo_classes_respected(self):
+        progs = make_workload("LMHH", MACHINE, seed=1)
+        classes = [by_name(p.name).ilp_class for p in progs]
+        assert classes == ["L", "M", "H", "H"]
+
+    def test_no_repeats_by_default(self):
+        progs = make_workload("HHHH", MACHINE, seed=2)
+        assert len({p.name for p in progs}) == 4
+
+    def test_exhaustion_raises_without_repeats(self):
+        with pytest.raises(ValueError, match="exhausted"):
+            make_workload("LLLLL", MACHINE, seed=0)
+
+    def test_repeats_allowed_when_asked(self):
+        progs = make_workload("LLLLL", MACHINE, seed=0, allow_repeats=True)
+        assert len(progs) == 5
+
+    def test_deterministic_by_seed(self):
+        a = [p.name for p in make_workload("LMH", MACHINE, seed=7)]
+        b = [p.name for p in make_workload("LMH", MACHINE, seed=7)]
+        assert a == b
+
+    def test_bad_letter_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("LX", MACHINE)
+
+    def test_all_class_combos(self):
+        combos = all_class_combos(4)
+        assert len(combos) == 15  # multisets of {L,M,H} size 4
+        assert "LLLL" in combos and "HHHH" in combos
+        for c in TABLE2:
+            assert "".join(sorted(c)) in ["".join(sorted(x)) for x in combos]
