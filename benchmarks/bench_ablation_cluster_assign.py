@@ -8,11 +8,10 @@ single-cluster kills single-thread ILP.
 
 import pytest
 
-from benchmarks.conftest import BENCH_CONFIG, PRINT_CONFIG
+from benchmarks.conftest import BENCH_CONFIG
 from repro.compiler import CompilerOptions
 from repro.kernels import by_name, compile_spec
 from repro.sim import run_workload
-from repro.workloads import workload_programs
 
 POLICIES = ("bug", "roundrobin", "single")
 

@@ -7,15 +7,14 @@ one scheme on one workload.
 
 import pytest
 
-from benchmarks.conftest import BENCH_CONFIG, PRINT_CONFIG, show
-from repro.eval import run_fig10
+from benchmarks.conftest import BENCH_CONFIG, run_print, show
 from repro.sim import run_workload
 from repro.workloads import workload_programs
 
 
 @pytest.fixture(scope="module")
 def fig10(machine):
-    return run_fig10(PRINT_CONFIG, machine)
+    return run_print("fig10", machine)
 
 
 def test_fig10_regenerate(fig10):

@@ -2,14 +2,13 @@
 
 import pytest
 
-from benchmarks.conftest import BENCH_CONFIG, PRINT_CONFIG, show
+from benchmarks.conftest import BENCH_CONFIG, run_print, show
 from repro.eval import run_fig10, run_fig11
 
 
 @pytest.fixture(scope="module")
 def fig11(machine):
-    fig10 = run_fig10(PRINT_CONFIG, machine)
-    return run_fig11(PRINT_CONFIG, machine, fig10=fig10)
+    return run_print("fig11", machine)
 
 
 def test_fig11_regenerate(fig11):

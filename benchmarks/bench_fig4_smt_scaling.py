@@ -2,14 +2,13 @@
 
 import pytest
 
-from benchmarks.conftest import BENCH_CONFIG, PRINT_CONFIG, show
-from repro.eval import run_fig4
+from benchmarks.conftest import BENCH_CONFIG, run_print, show
 from repro.sim import run_workload
 from repro.workloads import workload_programs
 
 
 def test_fig4_regenerate(machine):
-    result = run_fig4(PRINT_CONFIG, machine)
+    result = run_print("fig4", machine)
     show(result)
     avg = result.rows[-1]
     assert avg[0] == "Average"

@@ -2,14 +2,13 @@
 
 import pytest
 
-from benchmarks.conftest import BENCH_CONFIG, PRINT_CONFIG, show
-from repro.eval import run_fig6
+from benchmarks.conftest import BENCH_CONFIG, run_print, show
 from repro.sim import run_workload
 from repro.workloads import WORKLOAD_ORDER, workload_programs
 
 
 def test_fig6_regenerate(machine):
-    result = run_fig6(PRINT_CONFIG, machine)
+    result = run_print("fig6", machine)
     show(result)
     # SMT wins on every workload; the average gap is sizeable
     for row in result.rows[:-1]:

@@ -6,14 +6,13 @@ single-thread simulation.
 
 import pytest
 
-from benchmarks.conftest import BENCH_CONFIG, PRINT_CONFIG, show
-from repro.eval import run_table1
+from benchmarks.conftest import BENCH_CONFIG, run_print, show
 from repro.kernels import SUITE, compile_spec
 from repro.sim import run_workload
 
 
 def test_table1_regenerate(machine):
-    result = run_table1(PRINT_CONFIG, machine)
+    result = run_print("table1", machine)
     show(result)
     rows = result.row_map()
     # class bands hold at benchmark scale too

@@ -4,13 +4,21 @@ Benchmarks regenerate paper artifacts at reduced scale (Python-friendly
 run lengths; see DESIGN.md on scaling) and print the same rows/series the
 paper reports.  Timing bodies are kept small; full-scale regeneration is
 ``python -m repro.eval.cli`` territory.
+
+Printed regenerations route through the experiment grid runner
+(:func:`repro.eval.run_experiment`), sharing its compiled-program cache
+across modules; set ``REPRO_BENCH_JOBS=N`` to fan the print-scale grids
+out over worker processes.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.arch import paper_machine
+from repro.eval import run_experiment
 from repro.eval.result import ExperimentResult
 from repro.sim import SimConfig
 
@@ -21,10 +29,20 @@ BENCH_CONFIG = SimConfig(instr_limit=1_200, timeslice=600, warmup_instrs=300)
 PRINT_CONFIG = SimConfig(instr_limit=3_000, timeslice=1_000,
                          warmup_instrs=800)
 
+#: worker processes for print-scale experiment grids.
+GRID_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
 
 @pytest.fixture(scope="session")
 def machine():
     return paper_machine()
+
+
+def run_print(name: str, machine, **kwargs) -> ExperimentResult:
+    """Regenerate one artifact at print scale through the grid runner."""
+    result, _grid = run_experiment(name, PRINT_CONFIG, machine,
+                                   jobs=GRID_JOBS, **kwargs)
+    return result
 
 
 def show(result: ExperimentResult) -> None:

@@ -15,9 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.isa.instruction import MultiOp
 from repro.ir.nodes import BranchBehavior
-from repro.ir.patterns import AccessPattern
 
 __all__ = ["BranchInfo", "VLIWBlock", "VLIWProgram"]
 

@@ -2,7 +2,10 @@
 
 from repro.eval.experiments import (
     ALL_EXPERIMENTS,
+    SIM_EXPERIMENTS,
     default_config,
+    experiment_cells,
+    run_experiment,
     run_fig4,
     run_fig5,
     run_fig6,
@@ -15,12 +18,24 @@ from repro.eval.experiments import (
 )
 from repro.eval.pareto import DesignPoint, design_points, pareto_frontier, recommend
 from repro.eval.result import ExperimentResult, render_table
+from repro.eval.runner import Cell, GridResult, run_cell, run_cells
+from repro.eval.store import RunStore, StoreMismatchError, run_fingerprint
 
 __all__ = [
     "ALL_EXPERIMENTS",
+    "Cell",
     "DesignPoint",
     "ExperimentResult",
+    "GridResult",
+    "RunStore",
+    "SIM_EXPERIMENTS",
+    "StoreMismatchError",
     "default_config",
+    "experiment_cells",
+    "run_cell",
+    "run_cells",
+    "run_experiment",
+    "run_fingerprint",
     "design_points",
     "pareto_frontier",
     "recommend",

@@ -2,11 +2,16 @@
 
 Usage::
 
-    python -m repro.eval.cli --experiment fig10 --scale 0.5
-    python -m repro.eval.cli --experiment all --out results/
+    repro-eval --experiment fig10 --scale 0.5
+    repro-eval --experiment all --out results/ --jobs 4
+    repro-eval --experiment fig10 --resume results/   # skip done cells
+    repro-eval --list
 
 ``--scale`` multiplies the run length (1.0 = 20k instructions/thread;
-the paper used 100M - see DESIGN.md on scaling).
+the paper used 100M - see DESIGN.md on scaling).  ``--out``/``--resume``
+name a *run directory* (created if missing) holding ``manifest.json``,
+per-cell values for resume, per-experiment JSON artifacts, and the
+shared on-disk compiled-program cache.
 """
 
 from __future__ import annotations
@@ -15,9 +20,26 @@ import argparse
 import sys
 import time
 
-from repro.eval.experiments import ALL_EXPERIMENTS, default_config
+from repro.arch import paper_machine
+from repro.eval.experiments import (
+    ALL_EXPERIMENTS,
+    default_config,
+    experiment_cells,
+    run_experiment,
+)
+from repro.eval.store import RunStore, StoreMismatchError, run_fingerprint
 
-_SIM_EXPERIMENTS = {"table1", "fig4", "fig6", "fig10", "fig11", "fig12"}
+
+def _list_experiments() -> str:
+    lines = ["experiment  cells  description",
+             "----------  -----  -----------"]
+    for name in sorted(ALL_EXPERIMENTS):
+        cells = experiment_cells(name)
+        n = str(len(cells)) if cells else "-"
+        doc_lines = (ALL_EXPERIMENTS[name].__doc__ or "").strip().splitlines()
+        doc = doc_lines[0] if doc_lines else ""
+        lines.append(f"{name:<10}  {n:>5}  {doc}")
+    return "\n".join(lines)
 
 
 def main(argv=None) -> int:
@@ -30,28 +52,68 @@ def main(argv=None) -> int:
                     help="which artifact to regenerate")
     ap.add_argument("--scale", type=float, default=1.0,
                     help="simulation length multiplier (default 1.0)")
+    ap.add_argument("--jobs", "-j", type=int, default=1,
+                    help="worker processes for simulation grids (default 1)")
     ap.add_argument("--out", default=None,
-                    help="directory for JSON results (optional)")
+                    help="run directory for JSON artifacts + cell values "
+                         "(created if missing)")
+    ap.add_argument("--resume", default=None, metavar="RUN_DIR",
+                    help="resume a previous run directory: completed "
+                         "cells are skipped (implies --out RUN_DIR)")
+    ap.add_argument("--list", action="store_true",
+                    help="list experiments with their grid sizes and exit")
     args = ap.parse_args(argv)
+
+    if args.list:
+        print(_list_experiments())
+        return 0
 
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     config = default_config(args.scale)
+    machine = paper_machine()
+
+    store = None
+    run_dir = args.resume or args.out
+    if run_dir:
+        try:
+            store = RunStore.open_or_create(
+                run_dir, run_fingerprint(config, machine))
+        except StoreMismatchError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+
+    # fig11/fig12 reuse fig10's simulations: compute fig10 once.
+    fig10_shared = None
+    failures = 0
     for name in names:
-        runner = ALL_EXPERIMENTS[name]
         t0 = time.time()
-        if name in _SIM_EXPERIMENTS:
-            result = runner(config)
-        else:
-            result = runner()
+        try:
+            result, grid = run_experiment(
+                name, config, machine, jobs=args.jobs, store=store,
+                fig10=fig10_shared if name in ("fig11", "fig12") else None)
+        except Exception as exc:  # noqa: BLE001 - CLI boundary
+            print(f"error: experiment {name} failed: "
+                  f"{type(exc).__name__}: {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        if name == "fig10":
+            fig10_shared = result
         print(result.render())
-        print(f"  [{time.time() - t0:.1f}s]")
+        status = f"  [{time.time() - t0:.1f}s]"
+        if grid is not None:
+            status += (f"  cells: {grid.executed} simulated, "
+                       f"{grid.reused} reused")
+        print(status)
         print()
-        if args.out:
-            path = result.save(args.out)
+        if store is not None:
+            path = store.save_artifact(result)
             print(f"  saved: {path}")
-    return 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `repro-eval --list | head`
+        sys.exit(0)

@@ -4,22 +4,31 @@ Each runner regenerates the corresponding artifact's rows/series (same
 workloads, same scheme sets, same derived percentages as the paper) on
 the scaled-down simulator.  DESIGN.md section 7 is the index; the
 benchmarks/ directory wraps each runner for ``pytest-benchmark``.
+
+Simulation-heavy experiments (table1, fig4, fig6, fig10 — and fig11 /
+fig12 through their shared fig10 input) are decomposed into grids of
+independent :class:`~repro.eval.runner.Cell` simulations and executed
+through :func:`~repro.eval.runner.run_cells`, which provides parallel
+fan-out (``jobs``), compile-once program caching, and resume from a
+:class:`~repro.eval.store.RunStore` (``store``).  Assembly from cell
+values is deterministic, so ``jobs=N`` output is identical to serial.
 """
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.arch import paper_machine
 from repro.cost import csmt_parallel, csmt_serial, scheme_cost, smt_serial
 from repro.eval.result import ExperimentResult
-from repro.kernels import SUITE, compile_spec
+from repro.eval.runner import Cell, GridResult, run_cells
+from repro.kernels import SUITE
 from repro.merge import FIG10_GROUPS, PAPER_SCHEMES, distinct_semantics, get_scheme
-from repro.sim import SimConfig, run_workload
-from repro.workloads import TABLE2, WORKLOAD_ORDER, workload_programs
+from repro.sim import SimConfig
+from repro.workloads import TABLE2, WORKLOAD_ORDER
 
 __all__ = [
     "default_config",
+    "experiment_cells",
+    "run_experiment",
     "run_table1",
     "run_table2",
     "run_fig4",
@@ -30,6 +39,7 @@ __all__ = [
     "run_fig11",
     "run_fig12",
     "ALL_EXPERIMENTS",
+    "SIM_EXPERIMENTS",
 ]
 
 
@@ -42,16 +52,21 @@ def default_config(scale: float = 1.0) -> SimConfig:
 # ----------------------------------------------------------------------
 # Table 1 - benchmark characterization
 # ----------------------------------------------------------------------
-def run_table1(config: SimConfig | None = None, machine=None) -> ExperimentResult:
+def _cells_table1() -> list[Cell]:
+    return [Cell("table1", "bench", spec.name, "ST", variant)
+            for spec in SUITE for variant in ("base", "perfect")]
+
+
+def run_table1(config: SimConfig | None = None, machine=None, *,
+               jobs: int = 1, store=None) -> ExperimentResult:
     """IPCr (real caches) and IPCp (perfect) per benchmark, single thread."""
     machine = machine or paper_machine()
     config = config or default_config()
-    perfect = replace(config, perfect_icache=True, perfect_dcache=True)
+    grid = run_cells(_cells_table1(), config, machine, jobs=jobs, store=store)
     rows = []
     for spec in SUITE:
-        prog = compile_spec(spec, machine)
-        ipcr = run_workload([prog], "ST", config).ipc
-        ipcp = run_workload([prog], "ST", perfect).ipc
+        ipcr = grid[Cell("table1", "bench", spec.name, "ST", "base")]
+        ipcp = grid[Cell("table1", "bench", spec.name, "ST", "perfect")]
         rows.append((spec.name, spec.ilp_class, round(ipcr, 2), round(ipcp, 2),
                      spec.paper_ipcr, spec.paper_ipcp))
     return ExperimentResult(
@@ -77,23 +92,33 @@ def run_table2() -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 4 - SMT scaling with hardware thread count
 # ----------------------------------------------------------------------
-def run_fig4(config: SimConfig | None = None, machine=None) -> ExperimentResult:
+_FIG4_SCHEMES = [("Single-thread", "ST"), ("2-Thread", "1S"),
+                 ("4-Thread", "3SSS")]
+
+
+def _cells_fig4() -> list[Cell]:
+    return [Cell("fig4", "workload", wl, scheme)
+            for wl in WORKLOAD_ORDER for _label, scheme in _FIG4_SCHEMES]
+
+
+def run_fig4(config: SimConfig | None = None, machine=None, *,
+             jobs: int = 1, store=None) -> ExperimentResult:
     """Average SMT IPC on 1-, 2- and 4-thread processors."""
     machine = machine or paper_machine()
     config = config or default_config()
-    schemes = [("Single-thread", "ST"), ("2-Thread", "1S"), ("4-Thread", "3SSS")]
-    sums = {label: 0.0 for label, _s in schemes}
+    grid = run_cells(_cells_fig4(), config, machine, jobs=jobs, store=store)
+    sums = {label: 0.0 for label, _s in _FIG4_SCHEMES}
     per_wl = []
     for wl in WORKLOAD_ORDER:
-        programs = workload_programs(wl, machine)
         row = [wl]
-        for label, scheme in schemes:
-            ipc = run_workload(programs, scheme, config).ipc
+        for label, scheme in _FIG4_SCHEMES:
+            ipc = grid[Cell("fig4", "workload", wl, scheme)]
             sums[label] += ipc
             row.append(round(ipc, 2))
         per_wl.append(tuple(row))
     n = len(WORKLOAD_ORDER)
-    avg = tuple(["Average"] + [round(sums[label] / n, 2) for label, _ in schemes])
+    avg = tuple(["Average"] + [round(sums[label] / n, 2)
+                               for label, _ in _FIG4_SCHEMES])
     rows = per_wl + [avg]
     gain = sums["4-Thread"] / sums["2-Thread"] - 1 if sums["2-Thread"] else 0
     return ExperimentResult(
@@ -140,16 +165,22 @@ def run_fig5(machine=None, max_threads: int = 8) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 6 - SMT advantage over CSMT (4 threads)
 # ----------------------------------------------------------------------
-def run_fig6(config: SimConfig | None = None, machine=None) -> ExperimentResult:
+def _cells_fig6() -> list[Cell]:
+    return [Cell("fig6", "workload", wl, scheme)
+            for wl in WORKLOAD_ORDER for scheme in ("3SSS", "3CCC")]
+
+
+def run_fig6(config: SimConfig | None = None, machine=None, *,
+             jobs: int = 1, store=None) -> ExperimentResult:
     """Per-workload % IPC advantage of 4-thread SMT over 4-thread CSMT."""
     machine = machine or paper_machine()
     config = config or default_config()
+    grid = run_cells(_cells_fig6(), config, machine, jobs=jobs, store=store)
     rows = []
     total = 0.0
     for wl in WORKLOAD_ORDER:
-        programs = workload_programs(wl, machine)
-        smt = run_workload(programs, "3SSS", config).ipc
-        csmt = run_workload(programs, "3CCC", config).ipc
+        smt = grid[Cell("fig6", "workload", wl, "3SSS")]
+        csmt = grid[Cell("fig6", "workload", wl, "3CCC")]
         diff = (smt / csmt - 1) * 100 if csmt else 0.0
         total += diff
         rows.append((wl, round(smt, 2), round(csmt, 2), round(diff, 1)))
@@ -194,8 +225,14 @@ def run_fig9(machine=None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 10 - per-workload performance of every scheme
 # ----------------------------------------------------------------------
+def _cells_fig10(schemes=None) -> list[Cell]:
+    groups = distinct_semantics(schemes or (["1S"] + PAPER_SCHEMES))
+    return [Cell("fig10", "workload", wl, canon)
+            for wl in WORKLOAD_ORDER for canon in groups]
+
+
 def run_fig10(config: SimConfig | None = None, machine=None,
-              schemes=None) -> ExperimentResult:
+              schemes=None, *, jobs: int = 1, store=None) -> ExperimentResult:
     """IPC of every scheme on every Table 2 workload.
 
     Parallel-CSMT schemes are simulated via their serial-cascade
@@ -206,11 +243,12 @@ def run_fig10(config: SimConfig | None = None, machine=None,
     config = config or default_config()
     groups = distinct_semantics(schemes or (["1S"] + PAPER_SCHEMES))
     labels = {canon: ",".join(names) for canon, names in groups.items()}
+    grid = run_cells(_cells_fig10(schemes), config, machine,
+                     jobs=jobs, store=store)
     ipc: dict[str, dict[str, float]] = {c: {} for c in groups}
     for wl in WORKLOAD_ORDER:
-        programs = workload_programs(wl, machine)
         for canon in groups:
-            ipc[canon][wl] = run_workload(programs, canon, config).ipc
+            ipc[canon][wl] = grid[Cell("fig10", "workload", wl, canon)]
     order = sorted(groups, key=lambda c: sum(ipc[c].values()))
     columns = ["scheme(s)"] + list(WORKLOAD_ORDER) + ["Average"]
     rows = []
@@ -267,19 +305,21 @@ def _scatter(experiment: str, title: str, cost_field: str,
 
 
 def run_fig11(config: SimConfig | None = None, machine=None,
-              fig10: ExperimentResult | None = None) -> ExperimentResult:
+              fig10: ExperimentResult | None = None, *,
+              jobs: int = 1, store=None) -> ExperimentResult:
     """Average IPC vs transistors for every scheme."""
     machine = machine or paper_machine()
-    fig10 = fig10 or run_fig10(config, machine)
+    fig10 = fig10 or run_fig10(config, machine, jobs=jobs, store=store)
     return _scatter("fig11", "Performance vs transistors incurred",
                     "transistors", fig10, machine)
 
 
 def run_fig12(config: SimConfig | None = None, machine=None,
-              fig10: ExperimentResult | None = None) -> ExperimentResult:
+              fig10: ExperimentResult | None = None, *,
+              jobs: int = 1, store=None) -> ExperimentResult:
     """Average IPC vs gate delays for every scheme."""
     machine = machine or paper_machine()
-    fig10 = fig10 or run_fig10(config, machine)
+    fig10 = fig10 or run_fig10(config, machine, jobs=jobs, store=store)
     return _scatter("fig12", "Performance vs gate delays",
                     "gate_delays", fig10, machine)
 
@@ -296,3 +336,83 @@ ALL_EXPERIMENTS = {
     "fig11": run_fig11,
     "fig12": run_fig12,
 }
+
+#: experiments that simulate (and therefore accept config/jobs/store).
+SIM_EXPERIMENTS = frozenset(
+    {"table1", "fig4", "fig6", "fig10", "fig11", "fig12"})
+
+#: static experiments, normalized to one ``machine -> result`` signature.
+_STATIC_RUNNERS = {
+    "table2": lambda machine: run_table2(),
+    "fig5": run_fig5,
+    "fig9": run_fig9,
+}
+
+#: experiment id -> grid decomposition (None for static experiments;
+#: fig11/fig12 ride on fig10's grid).
+_CELL_BUILDERS = {
+    "table1": _cells_table1,
+    "fig4": _cells_fig4,
+    "fig6": _cells_fig6,
+    "fig10": _cells_fig10,
+    "fig11": _cells_fig10,
+    "fig12": _cells_fig10,
+}
+
+
+def experiment_cells(name: str) -> list[Cell] | None:
+    """The simulation grid of an experiment (None if it has none)."""
+    builder = _CELL_BUILDERS.get(name)
+    return builder() if builder else None
+
+
+def run_experiment(name: str, config: SimConfig | None = None, machine=None,
+                   *, jobs: int = 1, store=None,
+                   fig10: ExperimentResult | None = None
+                   ) -> tuple[ExperimentResult, GridResult | None]:
+    """Run one experiment through the grid layer.
+
+    Returns ``(result, grid)`` where ``grid`` reports executed/reused
+    cell counts (``None`` for static experiments, and for fig11/fig12
+    when a precomputed ``fig10`` result is supplied).
+    """
+    if name not in ALL_EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; "
+                       f"choose from {sorted(ALL_EXPERIMENTS)}")
+    machine = machine or paper_machine()
+    grid: GridResult | None = None
+    if name in ("fig11", "fig12"):
+        if fig10 is None:
+            fig10, grid = run_experiment("fig10", config, machine,
+                                         jobs=jobs, store=store)
+        runner = run_fig11 if name == "fig11" else run_fig12
+        return runner(config, machine, fig10=fig10), grid
+    if name not in SIM_EXPERIMENTS:
+        return _STATIC_RUNNERS[name](machine), None
+    config = config or default_config()
+    cells = experiment_cells(name)
+    grid = run_cells(cells, config, machine, jobs=jobs, store=store)
+    # assemble from the already-populated grid (never the real store:
+    # the assembly pass must not clobber its executed/reused record).
+    result = ALL_EXPERIMENTS[name](config, machine, jobs=1,
+                                   store=_PrefilledStore(name, grid.values))
+    return result, grid
+
+
+class _PrefilledStore:
+    """Minimal store view handing an assembled grid back to a runner."""
+
+    def __init__(self, experiment: str, values: dict):
+        self._experiment = experiment
+        self._values = values
+
+    def load_cells(self, experiment: str) -> dict:
+        return self._values if experiment == self._experiment else {}
+
+    def record_cell(self, experiment: str, key: str, value: float) -> None:
+        self._values[key] = value
+
+    def update_manifest(self, experiment: str, **fields) -> None:
+        pass
+
+    path = "."

@@ -1,0 +1,209 @@
+"""Parallel, cached, resumable experiment grid execution.
+
+Every simulation-heavy experiment decomposes into a grid of independent
+*cells* — one ``(workload-or-benchmark, scheme, config-variant)``
+simulation producing a single IPC value.  :func:`run_cells` executes a
+grid either inline or fanned out over a ``ProcessPoolExecutor``, with:
+
+* **deterministic assembly** — results are keyed by cell identity, not
+  completion order, and each simulation is fully seeded, so parallel
+  output is bit-identical to serial output;
+* **compile reuse** — the parent process pre-compiles every distinct
+  program of the grid through the process-wide
+  :class:`~repro.kernels.cache.ProgramCache` before forking, and when a
+  :class:`~repro.eval.store.RunStore` is attached its
+  ``programs/`` directory is used as the process-safe disk cache, so a
+  kernel is compiled once per machine/options fingerprint per host;
+* **resume** — completed cells recorded in the attached store are
+  skipped, and new results are written through as they complete.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field, replace
+
+from repro.arch import paper_machine
+from repro.kernels import by_name, compile_spec
+from repro.kernels.cache import get_default_cache, set_cache_dir
+from repro.sim import run_workload
+from repro.workloads import workload_specs
+
+__all__ = ["Cell", "GridResult", "run_cell", "run_cells"]
+
+#: cell config variants -> SimConfig transform.
+_VARIANTS = {
+    "base": lambda cfg: cfg,
+    "perfect": lambda cfg: replace(cfg, perfect_icache=True,
+                                   perfect_dcache=True),
+}
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent simulation of an experiment grid.
+
+    Attributes:
+        experiment: owning experiment id (e.g. ``"fig10"``).
+        kind: ``"workload"`` (a Table 2 workload) or ``"bench"`` (a
+            single Table 1 benchmark).
+        target: workload or benchmark name.
+        scheme: merging scheme to simulate under.
+        variant: config variant — ``"base"`` or ``"perfect"`` (caches).
+    """
+
+    experiment: str
+    kind: str
+    target: str
+    scheme: str
+    variant: str = "base"
+
+    def __post_init__(self):
+        if self.kind not in ("workload", "bench"):
+            raise ValueError(f"unknown cell kind {self.kind!r}")
+        if self.variant not in _VARIANTS:
+            raise ValueError(f"unknown cell variant {self.variant!r}")
+
+    @property
+    def key(self) -> str:
+        """Stable identity used for result assembly and resume."""
+        return f"{self.kind}:{self.target}:{self.scheme}:{self.variant}"
+
+
+@dataclass
+class GridResult:
+    """Outcome of one grid execution."""
+
+    experiment: str
+    values: dict = field(default_factory=dict)  # cell key -> IPC
+    executed: int = 0   # cells simulated in this call
+    reused: int = 0     # cells skipped because the store had them
+
+    def __getitem__(self, cell_or_key) -> float:
+        key = getattr(cell_or_key, "key", cell_or_key)
+        return self.values[key]
+
+
+def _cell_specs(cell: Cell):
+    if cell.kind == "bench":
+        return [by_name(cell.target)]
+    return workload_specs(cell.target)
+
+
+def cell_programs(cell: Cell, machine, options=None) -> list:
+    """Compiled programs for one cell (through the program cache)."""
+    return [compile_spec(s, machine, options) for s in _cell_specs(cell)]
+
+
+def run_cell(cell: Cell, config, machine=None, options=None) -> float:
+    """Simulate one grid cell and return its IPC."""
+    machine = machine or paper_machine()
+    programs = cell_programs(cell, machine, options)
+    cfg = _VARIANTS[cell.variant](config)
+    return run_workload(programs, cell.scheme, cfg).ipc
+
+
+# -- worker-side state (set once per pool worker) -------------------------
+_worker_state: dict = {}
+
+
+def _worker_init(config, machine, cache_dir) -> None:
+    if cache_dir:
+        set_cache_dir(cache_dir)
+    _worker_state["config"] = config
+    _worker_state["machine"] = machine
+
+
+def _worker_run(cell: Cell) -> tuple[str, float]:
+    value = run_cell(cell, _worker_state["config"], _worker_state["machine"])
+    return cell.key, value
+
+
+def _prewarm(cells, machine, options=None) -> None:
+    """Compile every distinct program of the grid once, in the parent.
+
+    Forked workers inherit the warm in-memory cache; spawned workers
+    fall back to the shared disk cache (when configured).
+    """
+    seen = set()
+    for cell in cells:
+        for spec in _cell_specs(cell):
+            if spec.name not in seen:
+                seen.add(spec.name)
+                compile_spec(spec, machine, options)
+
+
+def run_cells(cells, config, machine=None, jobs: int = 1, store=None
+              ) -> GridResult:
+    """Execute a grid of cells; returns values keyed by cell identity.
+
+    Args:
+        cells: the grid (all cells must belong to one experiment).
+        config: base :class:`SimConfig` (cell variants derive from it).
+        machine: target machine (default: the paper's).
+        jobs: worker processes; ``<= 1`` runs inline.
+        store: optional :class:`~repro.eval.store.RunStore` — completed
+            cells recorded there are skipped, new ones written through.
+
+    Parallel execution is bit-identical to serial execution: cells are
+    independent, individually seeded, and assembled by key.
+    """
+    cells = list(cells)
+    if not cells:
+        return GridResult(experiment="")
+    experiments = {c.experiment for c in cells}
+    if len(experiments) != 1:
+        raise ValueError(f"grid mixes experiments: {sorted(experiments)}")
+    experiment = cells[0].experiment
+    if len({c.key for c in cells}) != len(cells):
+        raise ValueError("grid contains duplicate cells")
+    machine = machine or paper_machine()
+
+    result = GridResult(experiment=experiment)
+    done = dict(store.load_cells(experiment)) if store else {}
+    pending = []
+    for cell in cells:
+        if cell.key in done:
+            result.values[cell.key] = done[cell.key]
+            result.reused += 1
+        else:
+            pending.append(cell)
+
+    prev_cache_dir = get_default_cache().directory
+    if pending and store is not None and prev_cache_dir is None:
+        set_cache_dir(os.path.join(store.path, "programs"))
+
+    def record(key: str, value: float) -> None:
+        result.values[key] = value
+        result.executed += 1
+        if store is not None:
+            store.record_cell(experiment, key, value)
+
+    try:
+        if jobs <= 1 or len(pending) <= 1:
+            for cell in pending:
+                record(cell.key, run_cell(cell, config, machine))
+        elif pending:
+            _prewarm(pending, machine)
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_init,
+                initargs=(config, machine, get_default_cache().directory),
+            ) as pool:
+                futures = {pool.submit(_worker_run, cell) for cell in pending}
+                while futures:
+                    finished, futures = wait(futures,
+                                             return_when=FIRST_COMPLETED)
+                    for fut in finished:
+                        key, value = fut.result()
+                        record(key, value)
+    finally:
+        set_cache_dir(prev_cache_dir)
+
+    if store is not None:
+        store.update_manifest(experiment, cells=len(cells),
+                              executed=result.executed,
+                              reused=result.reused)
+    return result

@@ -1,0 +1,150 @@
+"""Persistent run directories for experiment results.
+
+A *run directory* is the on-disk record of one experiment campaign::
+
+    run_dir/
+        manifest.json        # config fingerprint + per-experiment status
+        cells/fig10.json     # cell key -> measured value (resume granularity)
+        fig10.json           # final ExperimentResult artifact
+
+Cell values are written through as they complete (atomic replace), so a
+killed run loses at most the in-flight cells; re-running with the same
+run directory skips every recorded cell.  A manifest fingerprint guards
+against resuming with a different simulation config or machine — mixing
+scales in one run directory would silently corrupt the artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+
+from repro.eval.result import ExperimentResult
+
+__all__ = ["RunStore", "StoreMismatchError", "run_fingerprint"]
+
+
+class StoreMismatchError(RuntimeError):
+    """Resuming a run directory with an incompatible config/machine."""
+
+
+def run_fingerprint(config, machine) -> dict:
+    """JSON-able identity of one campaign's (config, machine) pair."""
+    cfg = dataclasses.asdict(config)
+    return {"config": json.loads(json.dumps(cfg, default=str)),
+            "machine": machine.describe()}
+
+
+def _atomic_write(path: str, text: str) -> None:
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class RunStore:
+    """One run directory: manifest + per-experiment cells + artifacts."""
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._cells: dict[str, dict[str, float]] = {}
+
+    # -- creation / open -------------------------------------------------
+    @classmethod
+    def open_or_create(cls, path, fingerprint: dict | None = None
+                       ) -> "RunStore":
+        """Open an existing run directory or create a fresh one.
+
+        When ``fingerprint`` is given and the directory already has a
+        manifest, the fingerprints must match (else
+        :class:`StoreMismatchError`); a fresh directory records it.
+        """
+        store = cls(path)
+        os.makedirs(store.path, exist_ok=True)
+        os.makedirs(os.path.join(store.path, "cells"), exist_ok=True)
+        manifest = store.manifest()
+        if manifest is None:
+            store._write_manifest({"fingerprint": fingerprint or {},
+                                   "experiments": {}})
+        elif fingerprint is not None:
+            recorded = manifest.get("fingerprint")
+            if not recorded:
+                # directory created without a fingerprint: adopt this one
+                # so later resumes are guarded.
+                manifest["fingerprint"] = fingerprint
+                store._write_manifest(manifest)
+            elif recorded != fingerprint:
+                raise StoreMismatchError(
+                    f"run directory {store.path!r} was created with a "
+                    f"different config/machine; use a fresh --out directory "
+                    f"or matching --scale"
+                )
+        return store
+
+    def manifest(self) -> dict | None:
+        try:
+            with open(os.path.join(self.path, self.MANIFEST)) as f:
+                return json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _write_manifest(self, manifest: dict) -> None:
+        _atomic_write(os.path.join(self.path, self.MANIFEST),
+                      json.dumps(manifest, indent=2))
+
+    def update_manifest(self, experiment: str, **fields) -> None:
+        manifest = self.manifest() or {"fingerprint": {}, "experiments": {}}
+        manifest.setdefault("experiments", {}).setdefault(
+            experiment, {}).update(fields)
+        self._write_manifest(manifest)
+
+    # -- cells (resume granularity) --------------------------------------
+    def _cells_path(self, experiment: str) -> str:
+        return os.path.join(self.path, "cells", f"{experiment}.json")
+
+    def load_cells(self, experiment: str) -> dict[str, float]:
+        """Recorded cell values for one experiment (may be empty)."""
+        if experiment not in self._cells:
+            try:
+                with open(self._cells_path(experiment)) as f:
+                    self._cells[experiment] = json.load(f)
+            except (OSError, json.JSONDecodeError):
+                self._cells[experiment] = {}
+        return self._cells[experiment]
+
+    def record_cell(self, experiment: str, key: str, value: float) -> None:
+        """Record one completed cell (write-through, atomic)."""
+        cells = self.load_cells(experiment)
+        cells[key] = value
+        _atomic_write(self._cells_path(experiment),
+                      json.dumps(cells, indent=0, sort_keys=True))
+
+    # -- artifacts -------------------------------------------------------
+    def save_artifact(self, result: ExperimentResult) -> str:
+        path = result.save(self.path)
+        self.update_manifest(result.experiment, status="done")
+        return path
+
+    def load_artifact(self, experiment: str) -> ExperimentResult | None:
+        try:
+            with open(os.path.join(self.path, f"{experiment}.json")) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return ExperimentResult(
+            experiment=data["experiment"], title=data["title"],
+            columns=data["columns"], rows=[tuple(r) for r in data["rows"]],
+            notes=data.get("notes", []), meta=data.get("meta", {}),
+        )

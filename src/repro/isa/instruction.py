@@ -17,8 +17,6 @@ of a Python loop; see :func:`packed_fits`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.isa.operation import OpClass, Operation
 
 __all__ = [

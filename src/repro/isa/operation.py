@@ -11,7 +11,7 @@ static control-flow metadata.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["OpClass", "Opcode", "Operation", "OPCODES"]
 

@@ -19,7 +19,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.compiler.options import CompilerOptions
-from repro.compiler.pipeline import compile_kernel
 
 __all__ = ["KernelSpec", "compile_spec"]
 
@@ -41,27 +40,14 @@ class KernelSpec:
             raise ValueError(f"{self.name}: ilp_class must be L/M/H")
 
 
-_COMPILE_CACHE: dict = {}
-
-
 def compile_spec(spec: KernelSpec, machine, options: CompilerOptions | None = None):
-    """Compile a kernel spec (memoized per machine + options)."""
-    options = options or CompilerOptions()
-    key = (
-        spec.name,
-        machine.name,
-        machine.n_clusters,
-        machine.cluster.issue_width,
-        tuple(sorted(options.unroll.items())),
-        options.unroll_scale,
-        options.iv_split,
-        options.speculate,
-        options.cluster_policy,
-        options.dce,
-    )
-    prog = _COMPILE_CACHE.get(key)
-    if prog is None:
-        prog = compile_kernel(spec.build(), machine, options,
-                              unroll_hints=dict(spec.unroll))
-        _COMPILE_CACHE[key] = prog
-    return prog
+    """Compile a kernel spec (memoized per machine + options fingerprint).
+
+    Routes through the process-wide :class:`~repro.kernels.cache.ProgramCache`;
+    when a disk cache directory is configured (``REPRO_CACHE_DIR`` or
+    :func:`repro.kernels.cache.set_cache_dir`) compiled programs are also
+    shared across processes.
+    """
+    from repro.kernels.cache import get_default_cache
+
+    return get_default_cache().get(spec, machine, options)

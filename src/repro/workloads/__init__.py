@@ -1,7 +1,12 @@
 """Workload configurations (Table 2) and workload synthesis."""
 
 from repro.workloads.generator import all_class_combos, make_workload
-from repro.workloads.table2 import TABLE2, WORKLOAD_ORDER, workload_programs
+from repro.workloads.table2 import (
+    TABLE2,
+    WORKLOAD_ORDER,
+    workload_programs,
+    workload_specs,
+)
 
 __all__ = [
     "TABLE2",
@@ -9,4 +14,5 @@ __all__ = [
     "all_class_combos",
     "make_workload",
     "workload_programs",
+    "workload_specs",
 ]

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from repro.kernels import by_name, compile_spec
 
-__all__ = ["TABLE2", "WORKLOAD_ORDER", "workload_programs"]
+__all__ = ["TABLE2", "WORKLOAD_ORDER", "workload_programs", "workload_specs"]
 
 #: workload name -> (thread0, thread1, thread2, thread3), Table 2 verbatim.
 TABLE2: dict[str, tuple[str, str, str, str]] = {
@@ -25,12 +25,21 @@ WORKLOAD_ORDER = (
 )
 
 
-def workload_programs(name: str, machine, options=None) -> list:
-    """Compiled programs for one Table 2 workload (thread order kept)."""
+def workload_specs(name: str) -> list:
+    """Kernel specs of one Table 2 workload (thread order kept)."""
     try:
         benches = TABLE2[name]
     except KeyError:
         raise KeyError(
             f"unknown workload {name!r}; Table 2 defines {sorted(TABLE2)}"
         ) from None
-    return [compile_spec(by_name(b), machine, options) for b in benches]
+    return [by_name(b) for b in benches]
+
+
+def workload_programs(name: str, machine, options=None) -> list:
+    """Compiled programs for one Table 2 workload (thread order kept).
+
+    Compilation routes through the program cache, so the same benchmark
+    appearing in several workloads (or experiments) is compiled once.
+    """
+    return [compile_spec(s, machine, options) for s in workload_specs(name)]

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 from repro.arch import paper_machine
 from repro.isa import MultiOp, OPCODES, Operation
 from repro.merge.packet import ExecPacket, MergeRules
-from tests.conftest import mop_from_counts, packet
+from tests.conftest import packet
 
 MACHINE = paper_machine()
 RULES = MergeRules(MACHINE)

@@ -6,7 +6,7 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.arch import paper_machine
-from repro.merge import get_scheme, parse_scheme
+from repro.merge import get_scheme
 from repro.merge.packet import MergeRules
 from repro.merge.scheme import Leaf, Node, ParCsmt, Scheme
 from tests.conftest import packet

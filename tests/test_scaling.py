@@ -5,8 +5,6 @@ threads; the scheme grammar, cost model and simulator all generalize, so
 we verify the machinery end to end at that scale.
 """
 
-import pytest
-
 from repro.arch import paper_machine, wide_machine
 from repro.compiler import compile_kernel
 from repro.cost import csmt_serial, scheme_cost

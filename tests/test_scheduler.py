@@ -11,7 +11,6 @@ from repro.compiler.scheduler import (
     validate_schedule,
 )
 from repro.ir import KernelBuilder
-from repro.isa import OpClass
 
 MACHINE = paper_machine()
 
