@@ -1,0 +1,211 @@
+"""Engine micro-benchmark: simulated cycles/second, reference vs fast.
+
+Measures both simulation engines on the same grid of cells at the fig10
+configuration (``repro.eval.experiments.default_config``) and reports
+simulated-cycles-per-wall-second plus the fast/reference speedup per
+cell, per class and overall.  Engines are bit-identical in every
+reported statistic (enforced by ``tests/test_engine.py``), so the cycle
+counts agree by construction and the comparison is pure wall-clock.
+
+Two front ends:
+
+* standalone CLI (no test dependencies) — used by CI's perf-smoke job
+  and to regenerate ``BENCH_engine.json`` at the repo root::
+
+      python benchmarks/bench_engine.py --out BENCH_engine.json
+      python benchmarks/bench_engine.py --scale 0.1 --check
+
+  ``--check`` exits non-zero if the fast engine is slower than the
+  reference on the grid (geomean speedup < threshold, default 1.0).
+
+* pytest-benchmark timed bodies (``pytest benchmarks/bench_engine.py``)
+  for trend tracking alongside the other artifact benchmarks.
+
+The default grid covers the engine's operating envelope: the
+single-thread baseline (where burst execution and idle-cycle skipping
+dominate) and multithreaded Table 2 cells across scheme families (where
+merge memoization and compiled plans carry the load).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+import platform
+import sys
+import time
+
+from repro.arch import paper_machine
+from repro.eval.experiments import default_config
+from repro.kernels import by_name, compile_spec
+from repro.sim import run_workload
+from repro.workloads import workload_programs
+
+ENGINES = ("reference", "fast")
+
+#: single-thread baseline cells (Table 1 benchmarks on one context).
+DEFAULT_BENCHES = ("mcf", "bzip2", "djpeg", "x264")
+
+#: multithreaded cells: Table 2 workloads x scheme families.
+DEFAULT_WORKLOADS = ("LLLL", "LLMH", "HHHH")
+DEFAULT_SCHEMES = ("1S", "3CCC", "2SC3", "3SSS")
+
+
+def default_cells(benches=DEFAULT_BENCHES, workloads=DEFAULT_WORKLOADS,
+                  schemes=DEFAULT_SCHEMES) -> list[dict]:
+    cells = [{"workload": b, "scheme": "ST", "class": "single-thread"}
+             for b in benches]
+    cells += [{"workload": wl, "scheme": s, "class": "multithreaded"}
+              for wl in workloads for s in schemes]
+    return cells
+
+
+def _programs(cell, machine):
+    if cell["scheme"] == "ST" and cell["class"] == "single-thread":
+        return [compile_spec(by_name(cell["workload"]), machine)]
+    return workload_programs(cell["workload"], machine)
+
+
+def measure_cell(cell: dict, config, machine, repeats: int = 3) -> dict:
+    """Time both engines on one cell; best-of-``repeats`` wall seconds.
+
+    ``cycles`` is ``SimStats.cycles`` (the statistics window both
+    engines account identically; warmup cycles are excluded from the
+    numerator for both alike, so the speedup is unaffected).
+    """
+    repeats = max(1, repeats)
+    programs = _programs(cell, machine)  # compiled once, cached
+    out = dict(cell)
+    cycles = {}
+    for engine in ENGINES:
+        cfg = dataclasses.replace(config, engine=engine)
+        best = math.inf
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            result = run_workload(programs, cell["scheme"], cfg)
+            best = min(best, time.perf_counter() - t0)
+        cycles[engine] = result.stats.cycles
+        out[engine] = {
+            "cycles": result.stats.cycles,
+            "seconds": round(best, 6),
+            "cycles_per_sec": round(result.stats.cycles / best, 1),
+        }
+    if cycles["reference"] != cycles["fast"]:  # defense in depth
+        raise AssertionError(
+            f"engines disagree on {cell}: {cycles} simulated cycles")
+    out["speedup"] = round(
+        out["fast"]["cycles_per_sec"] / out["reference"]["cycles_per_sec"], 3)
+    return out
+
+
+def _geomean(values) -> float:
+    values = list(values)
+    return math.exp(sum(math.log(v) for v in values) / len(values)) \
+        if values else 0.0
+
+
+def run_grid(cells, config, machine=None, repeats: int = 3) -> dict:
+    """Measure every cell and assemble the timing report."""
+    machine = machine or paper_machine()
+    measured = [measure_cell(c, config, machine, repeats) for c in cells]
+    classes = sorted({c["class"] for c in measured})
+    return {
+        "benchmark": "bench_engine",
+        "config": {
+            "instr_limit": config.instr_limit,
+            "timeslice": config.timeslice,
+            "warmup_instrs": config.warmup_instrs,
+            "seed": config.seed,
+        },
+        "python": platform.python_version(),
+        "cells": measured,
+        "geomean_speedup": round(_geomean(c["speedup"] for c in measured), 3),
+        "geomean_by_class": {
+            cls: round(_geomean(c["speedup"] for c in measured
+                                if c["class"] == cls), 3)
+            for cls in classes
+        },
+        "max_speedup": max(c["speedup"] for c in measured),
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        description="Benchmark reference vs fast simulation engines")
+    ap.add_argument("--scale", type=float, default=1.0,
+                    help="run-length multiplier on the fig10 config")
+    ap.add_argument("--benches", default=",".join(DEFAULT_BENCHES),
+                    help="comma list of single-thread benchmarks ('' = none)")
+    ap.add_argument("--workloads", default=",".join(DEFAULT_WORKLOADS),
+                    help="comma list of Table 2 workloads ('' = none)")
+    ap.add_argument("--schemes", default=",".join(DEFAULT_SCHEMES),
+                    help="comma list of schemes for the workload cells")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="timing repeats per cell (best is kept)")
+    ap.add_argument("--out", default=None,
+                    help="write the timing report JSON here")
+    ap.add_argument("--check", action="store_true",
+                    help="exit 1 unless geomean speedup >= --threshold")
+    ap.add_argument("--threshold", type=float, default=1.0,
+                    help="minimum geomean speedup for --check (default 1.0)")
+    args = ap.parse_args(argv)
+
+    split = (lambda s: tuple(x for x in s.split(",") if x))
+    cells = default_cells(split(args.benches), split(args.workloads),
+                          split(args.schemes))
+    if not cells:
+        print("error: empty benchmark grid", file=sys.stderr)
+        return 2
+    report = run_grid(cells, default_config(args.scale),
+                      repeats=args.repeats)
+
+    width = max(len(c["workload"]) for c in report["cells"])
+    for c in report["cells"]:
+        print(f"{c['workload']:<{width}} {c['scheme']:<5} "
+              f"ref {c['reference']['cycles_per_sec']:>12,.0f} c/s   "
+              f"fast {c['fast']['cycles_per_sec']:>12,.0f} c/s   "
+              f"{c['speedup']:.2f}x")
+    for cls, g in report["geomean_by_class"].items():
+        print(f"geomean [{cls}]: {g:.2f}x")
+    print(f"geomean overall: {report['geomean_speedup']:.2f}x   "
+          f"max: {report['max_speedup']:.2f}x")
+
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"saved: {args.out}")
+
+    if args.check and report["geomean_speedup"] < args.threshold:
+        print(f"FAIL: geomean speedup {report['geomean_speedup']} < "
+              f"threshold {args.threshold}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark timed bodies (collected only under pytest)
+# ----------------------------------------------------------------------
+def _bench_body(engine):
+    from benchmarks.conftest import BENCH_CONFIG
+
+    machine = paper_machine()
+    programs = workload_programs("LLMH", machine)
+    cfg = dataclasses.replace(BENCH_CONFIG, engine=engine)
+    return lambda: run_workload(programs, "2SC3", cfg).ipc
+
+
+def test_bench_reference_engine(benchmark):
+    ipc = benchmark(_bench_body("reference"))
+    assert ipc > 0
+
+
+def test_bench_fast_engine(benchmark):
+    ipc = benchmark(_bench_body("fast"))
+    assert ipc > 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,7 @@ Usage::
     repro-eval --experiment fig10 --scale 0.5
     repro-eval --experiment all --out results/ --jobs 4
     repro-eval --experiment fig10 --resume results/   # skip done cells
+    repro-eval --experiment fig10 --engine reference  # executable spec
     repro-eval --list
 
 ``--scale`` multiplies the run length (1.0 = 20k instructions/thread;
@@ -28,6 +29,7 @@ from repro.eval.experiments import (
     run_experiment,
 )
 from repro.eval.store import RunStore, StoreMismatchError, run_fingerprint
+from repro.sim.engine import ENGINES
 
 
 def _list_experiments() -> str:
@@ -52,6 +54,11 @@ def main(argv=None) -> int:
                     help="which artifact to regenerate")
     ap.add_argument("--scale", type=float, default=1.0,
                     help="simulation length multiplier (default 1.0)")
+    ap.add_argument("--engine", default="fast",
+                    choices=sorted(ENGINES),
+                    help="simulation engine: 'fast' (default) or "
+                         "'reference' — bit-identical statistics, the "
+                         "reference is the executable specification")
     ap.add_argument("--jobs", "-j", type=int, default=1,
                     help="worker processes for simulation grids (default 1)")
     ap.add_argument("--out", default=None,
@@ -70,7 +77,7 @@ def main(argv=None) -> int:
 
     names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
-    config = default_config(args.scale)
+    config = default_config(args.scale, engine=args.engine)
     machine = paper_machine()
 
     store = None

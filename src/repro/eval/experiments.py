@@ -43,10 +43,15 @@ __all__ = [
 ]
 
 
-def default_config(scale: float = 1.0) -> SimConfig:
-    """The standard scaled-down run (paper: 100M instrs, 1M slices)."""
+def default_config(scale: float = 1.0, engine: str = "fast") -> SimConfig:
+    """The standard scaled-down run (paper: 100M instrs, 1M slices).
+
+    ``engine`` picks the simulation engine for every cell of every grid
+    ('fast' by default; 'reference' runs the executable specification —
+    same statistics, more wall-clock).
+    """
     return SimConfig(instr_limit=20_000, timeslice=4_000,
-                     warmup_instrs=2_000).scaled(scale)
+                     warmup_instrs=2_000, engine=engine).scaled(scale)
 
 
 # ----------------------------------------------------------------------

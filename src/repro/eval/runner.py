@@ -16,6 +16,12 @@ grid either inline or fanned out over a ``ProcessPoolExecutor``, with:
   kernel is compiled once per machine/options fingerprint per host;
 * **resume** — completed cells recorded in the attached store are
   skipped, and new results are written through as they complete.
+
+The simulation engine rides inside each cell's :class:`SimConfig`
+(``config.engine``, default ``"fast"``), so worker processes and the
+inline path run whichever engine the experiment requested; cell values
+are engine-agnostic because engines are bit-identical (the store
+fingerprint therefore ignores the engine field).
 """
 
 from __future__ import annotations

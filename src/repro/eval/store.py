@@ -31,8 +31,15 @@ class StoreMismatchError(RuntimeError):
 
 
 def run_fingerprint(config, machine) -> dict:
-    """JSON-able identity of one campaign's (config, machine) pair."""
+    """JSON-able identity of one campaign's (config, machine) pair.
+
+    The simulation engine is deliberately excluded: engines are
+    bit-identical in every reported statistic (tests/test_engine.py), so
+    cell values are engine-agnostic and a run started with ``--engine
+    fast`` may be resumed with ``--engine reference`` and vice versa.
+    """
     cfg = dataclasses.asdict(config)
+    cfg.pop("engine", None)
     return {"config": json.loads(json.dumps(cfg, default=str)),
             "machine": machine.describe()}
 

@@ -27,8 +27,12 @@ class ExecPacket:
         mask: union of cluster-usage bitmasks.
         packed: SWAR sum of per-cluster resource counts.
         n_ops: total operations across merged threads.
-        ports: merge-tree port indices contributing to this packet, in
-            priority order (leftmost = highest priority).
+        ports: one *owner token* per merged source packet, in priority
+            order (leftmost = highest priority).  The owner is whatever
+            :meth:`from_mop` was given: a port index when evaluating
+            schemes standalone, a :class:`~repro.sim.thread.ThreadState`
+            inside the simulator.  Merge blocks only concatenate owners;
+            they never inspect them.
     """
 
     __slots__ = ("mask", "packed", "n_ops", "ports")
@@ -40,8 +44,9 @@ class ExecPacket:
         self.ports = ports
 
     @classmethod
-    def from_mop(cls, mop, port: int) -> "ExecPacket":
-        return cls(mop.mask, mop.packed, mop.n_ops, (port,))
+    def from_mop(cls, mop, owner) -> "ExecPacket":
+        """Wrap one thread's instruction, tagged with its ``owner`` token."""
+        return cls(mop.mask, mop.packed, mop.n_ops, (owner,))
 
     def __repr__(self) -> str:
         return f"<ExecPacket ports={self.ports} mask={self.mask:04b} ops={self.n_ops}>"

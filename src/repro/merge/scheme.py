@@ -22,7 +22,186 @@ from __future__ import annotations
 
 from repro.merge.packet import ExecPacket, MergeRules
 
-__all__ = ["Leaf", "Node", "ParCsmt", "Scheme"]
+__all__ = ["Leaf", "Node", "ParCsmt", "Scheme", "SchemePlan"]
+
+# Compiled-plan opcodes: push a port's packet / merge the top two stack
+# entries with the SMT or CSMT rule.
+OP_PORT, OP_SMT, OP_CSMT = 0, 1, 2
+
+
+class SchemePlan:
+    """A scheme AST lowered to a flat postorder instruction list.
+
+    ``steps`` is a tuple of ``(opcode, port)`` pairs: ``OP_PORT`` pushes
+    ``ports[port]``; ``OP_SMT``/``OP_CSMT`` pop the two top stack entries
+    (right above left) and push the merge outcome under exactly the
+    semantics of :meth:`Node.eval` — pass-through when one side is
+    invalid, the merged packet on success, the **left** (higher-priority)
+    input on failure.  Parallel CSMT blocks are lowered to their
+    functionally identical left-deep cascades.
+
+    Evaluating the plan with an explicit stack replaces the per-cycle
+    recursive AST walk in the simulator's hot loop; :meth:`select` is
+    bit-identical to ``root.eval`` on every input (see the property
+    tests in ``tests/test_merge_scheme.py``).
+
+    :attr:`select_ports` is the plan specialized further: the postorder
+    steps are unrolled at compile time into one straight-line Python
+    function over flat ``(mask, packed)`` pairs (mask ``-1`` marks an
+    invalid port) returning the selected port indices.  The fast engine
+    calls it on merge-memo misses — no packets, no stack, the machine's
+    cap constants inlined as literals.
+
+    :attr:`pair_table` precomputes the two-valid-ports case: with exactly
+    two valid leaves every other merge block passes through, so the
+    selection collapses to one predicate at their lowest common ancestor.
+    ``pair_table[(i, j)]`` (scan order ``i < j``) holds
+    ``(is_smt, first_port, second_port, sel_first, sel_both)`` — evaluate
+    the ancestor's predicate on the two packets and pick one of the two
+    precomputed selections.
+    """
+
+    __slots__ = ("scheme_name", "steps", "select_ports", "pair_table",
+                 "_rules", "_try_smt", "_try_csmt")
+
+    def __init__(self, scheme_name: str, steps: tuple, rules: MergeRules):
+        self.scheme_name = scheme_name
+        self.steps = steps
+        self._rules = rules
+        self._try_smt = rules.try_smt
+        self._try_csmt = rules.try_csmt
+        self.select_ports = _specialize(steps, rules)
+        self.pair_table = _pair_table(steps)
+
+    def select(self, ports) -> ExecPacket | None:
+        """Evaluate the plan on one packet-per-port list."""
+        stack = []
+        push = stack.append
+        pop = stack.pop
+        try_smt = self._try_smt
+        try_csmt = self._try_csmt
+        for op, port in self.steps:
+            if op == OP_PORT:
+                push(ports[port])
+                continue
+            b = pop()
+            a = pop()
+            if a is None:
+                push(b)
+            elif b is None:
+                push(a)
+            else:
+                merged = try_smt(a, b) if op == OP_SMT else try_csmt(a, b)
+                push(merged if merged is not None else a)
+        return stack[0]
+
+    def __repr__(self) -> str:
+        return (f"<SchemePlan {self.scheme_name}: "
+                f"{len(self.steps)} steps>")
+
+
+def _specialize(steps: tuple, rules: MergeRules):
+    """Unroll a postorder plan into one generated Python function.
+
+    The returned function takes ``m0, p0, m1, p1, ...`` — one
+    ``(mask, packed)`` pair per port, mask ``-1`` for an invalid port —
+    and returns the tuple of selected port indices in priority order
+    (``None`` when every port is invalid).  Each merge step becomes a
+    literal transcription of :meth:`Node.eval`'s semantics on the SWAR
+    summaries, with the cap constants inlined.
+    """
+    n_ports = sum(1 for op, _ in steps if op == OP_PORT)
+    args = ", ".join(f"m{i}, p{i}" for i in range(n_ports))
+    lines = [f"def _select_ports({args}):"]
+    emit = lines.append
+    stack: list[tuple[str, str, str]] = []
+    tmp = 0
+    for op, port in steps:
+        if op == OP_PORT:
+            stack.append((f"m{port}", f"p{port}", f"({port},)"))
+            continue
+        bm, bp, bs = stack.pop()
+        am, ap, asel = stack.pop()
+        rm, rp, rs = f"rm{tmp}", f"rp{tmp}", f"rs{tmp}"
+        tmp += 1
+        emit(f"    if {am} < 0:")
+        emit(f"        {rm} = {bm}; {rp} = {bp}; {rs} = {bs}")
+        emit(f"    elif {bm} < 0:")
+        emit(f"        {rm} = {am}; {rp} = {ap}; {rs} = {asel}")
+        if op == OP_CSMT:
+            emit(f"    elif {am} & {bm}:")
+            emit(f"        {rm} = {am}; {rp} = {ap}; {rs} = {asel}")
+            emit("    else:")
+            emit(f"        {rm} = {am} | {bm}; {rp} = {ap} + {bp}; "
+                 f"{rs} = {asel} + {bs}")
+        else:
+            emit("    else:")
+            emit(f"        _t = {ap} + {bp}")
+            emit(f"        if ({rules.caps_high} - _t) & {rules.high} "
+                 f"== {rules.high}:")
+            emit(f"            {rm} = {am} | {bm}; {rp} = _t; "
+                 f"{rs} = {asel} + {bs}")
+            emit("        else:")
+            emit(f"            {rm} = {am}; {rp} = {ap}; {rs} = {asel}")
+        stack.append((rm, rp, rs))
+    root_m, _root_p, root_s = stack[0]
+    emit(f"    return {root_s} if {root_m} >= 0 else None")
+    namespace: dict = {}
+    exec("\n".join(lines), namespace)  # noqa: S102 - self-generated source
+    return namespace["_select_ports"]
+
+
+def _pair_table(steps: tuple) -> dict:
+    """Collapse every two-valid-ports case to one precomputed predicate.
+
+    With exactly two valid leaves, every merge step sees at most one
+    valid input — and passes it through — except the single step where
+    both meet (their lowest common ancestor in the original AST).  The
+    selection is therefore ``sel_both`` if that step's predicate accepts
+    the pair and ``sel_first`` (its left, higher-priority side) if not.
+    Found symbolically: run the plan on tokens for the pair and record
+    the one step that combines two valid operands.
+    """
+    n_ports = sum(1 for op, _ in steps if op == OP_PORT)
+    table: dict = {}
+    for i in range(n_ports):
+        for j in range(n_ports):
+            if i == j:
+                continue
+            stack: list = []
+            meet = None
+            for op, port in steps:
+                if op == OP_PORT:
+                    stack.append((port,) if port in (i, j) else None)
+                    continue
+                b = stack.pop()
+                a = stack.pop()
+                if a is None:
+                    stack.append(b)
+                elif b is None:
+                    stack.append(a)
+                else:
+                    meet = (op, a, b)
+                    stack.append(a + b)
+            op, first, second = meet
+            table[i, j] = (op == OP_SMT, first[0], second[0],
+                           first, first + second)
+    return table
+
+
+def _lower(node, steps: list) -> None:
+    """Postorder-lower one AST node onto ``steps``."""
+    if node.kind == "leaf":
+        steps.append((OP_PORT, node.port))
+    elif node.kind == "node":
+        _lower(node.left, steps)
+        _lower(node.right, steps)
+        steps.append((OP_SMT if node.merge_kind == "S" else OP_CSMT, -1))
+    else:  # parallel CSMT == left-deep serial cascade (paper, Section 3)
+        _lower(node.children[0], steps)
+        for child in node.children[1:]:
+            _lower(child, steps)
+            steps.append((OP_CSMT, -1))
 
 
 class Leaf:
@@ -139,9 +318,25 @@ class Scheme:
             )
         self.n_ports = len(ls)
         self._perms = self._rotation_schedule()
+        self._plans: dict = {}
 
     def select(self, ports, rules: MergeRules) -> ExecPacket | None:
         return self.root.eval(ports, rules)
+
+    def compile(self, rules: MergeRules) -> SchemePlan:
+        """Lower the AST once into a flat :class:`SchemePlan`.
+
+        Plans are cached per merge-rule constants (one machine's caps =
+        one plan), so repeated calls from the simulator are free.
+        """
+        key = (rules.caps_high, rules.high)
+        plan = self._plans.get(key)
+        if plan is None:
+            steps: list = []
+            _lower(self.root, steps)
+            plan = SchemePlan(self.name, tuple(steps), rules)
+            self._plans[key] = plan
+        return plan
 
     def _is_balanced_tree(self) -> bool:
         r = self.root

@@ -37,6 +37,10 @@ class SimConfig:
     seed: int = 1
     rotate_priority: bool = True
     max_cycles: int | None = None
+    #: simulation engine ('reference' or 'fast').  Both are bit-identical
+    #: in every reported statistic (enforced by the differential suite in
+    #: tests/test_engine.py); the choice affects wall-clock speed only.
+    engine: str = "fast"
 
     def scaled(self, factor: float) -> "SimConfig":
         """Scale run length (quota + slice together) by ``factor``."""
@@ -80,6 +84,7 @@ def run_workload(programs, scheme_name: str, config: SimConfig | None = None
         icache=make_cache(config.icache, config.perfect_icache),
         dcache=make_cache(config.dcache, config.perfect_dcache),
         rotate=config.rotate_priority,
+        engine=config.engine,
     )
     tasker = Multitasker(core, threads, timeslice=config.timeslice,
                          seed=config.seed)

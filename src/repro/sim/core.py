@@ -18,20 +18,34 @@ Per cycle (paper, Sections 2 and 5.1):
 Statically scheduled code needs no hazard tracking here: the compiler
 already spaced dependent operations by their latencies, and the two
 dynamic events (cache misses, taken branches) stall the whole thread.
+
+:class:`MTCore` owns the state — contexts, caches, stats, cycle and
+rotation counters — and delegates cycle advancement to a pluggable
+:mod:`engine <repro.sim.engine>` (``"reference"`` or ``"fast"``, both
+bit-identical in every reported statistic).
 """
 
 from __future__ import annotations
 
 from repro.merge.packet import MergeRules
+from repro.sim.engine import make_engine
 from repro.sim.stats import SimStats
 
 __all__ = ["MTCore"]
 
 
 class MTCore:
-    """A core with ``scheme.n_ports`` hardware thread contexts."""
+    """A core with ``scheme.n_ports`` hardware thread contexts.
 
-    def __init__(self, machine, scheme, icache, dcache, rotate: bool = True):
+    Args:
+        engine: which simulation engine advances the core — an engine
+            name (``"reference"``/``"fast"``), class or instance; see
+            :func:`repro.sim.engine.make_engine`.  Engines share all
+            core state, so the choice affects wall-clock speed only.
+    """
+
+    def __init__(self, machine, scheme, icache, dcache, rotate: bool = True,
+                 engine="fast"):
         self.machine = machine
         self.scheme = scheme
         self.rules = MergeRules(machine)
@@ -44,6 +58,7 @@ class MTCore:
         self._rot = 0
         self._perms = scheme.port_permutations()
         self.stats = SimStats()
+        self.engine = make_engine(engine)
 
     def set_contexts(self, threads) -> None:
         """Load software threads onto the hardware contexts."""
@@ -58,80 +73,7 @@ class MTCore:
         """Run up to ``max_cycles``; returns 'limit' if a thread finished.
 
         ``instr_limit`` is the paper's termination rule: stop as soon as
-        any thread completes that many instructions.
+        any thread completes that many instructions.  Execution is
+        delegated to the configured engine.
         """
-        machine = self.machine
-        scheme = self.scheme
-        rules = self.rules
-        icache = self.icache
-        dcache = self.dcache
-        stats = self.stats
-        contexts = self.contexts
-        n = self.n_ports
-        br_penalty = machine.taken_branch_penalty
-        ports = [None] * n
-
-        for _ in range(max_cycles):
-            cycle = self.cycle
-            # ---------------------------------------------------- fetch
-            for ctx in contexts:
-                if ctx is None or ctx.stall_until > cycle:
-                    continue
-                if ctx.pending is None:
-                    ctx.fetch()
-                    if not icache.access(ctx.pending.mop.address):
-                        ctx.icache_misses += 1
-                        ctx.stall_until = cycle + icache.miss_penalty
-
-            # ---------------------------------------------------- merge
-            perm = self._perms[self._rot]
-            any_ready = False
-            for p in range(n):
-                ctx = contexts[perm[p]]
-                if (ctx is not None and ctx.pending is not None
-                        and ctx.stall_until <= cycle):
-                    ports[p] = ctx.packet
-                    any_ready = True
-                else:
-                    ports[p] = None
-
-            selected = scheme.select(ports, rules) if any_ready else None
-
-            # ---------------------------------------------------- issue
-            if selected is None:
-                stats.vertical_waste += 1
-                finished = None
-            else:
-                threads = selected.ports
-                stats.record_issue(len(threads), selected.n_ops, len(threads))
-                finished = None
-                for ctx in threads:
-                    rec = ctx.pending
-                    ctx.issued_instrs += 1
-                    ctx.issued_ops += rec.mop.n_ops
-                    pen = 0
-                    is_load = rec.mop.mem_is_load
-                    for k, addr in enumerate(rec.addrs):
-                        if not dcache.access(addr):
-                            ctx.dcache_misses += 1
-                            # only load misses stall the thread: store
-                            # misses drain through the write buffer
-                            if is_load[k]:
-                                pen += dcache.miss_penalty
-                    if rec.taken:
-                        ctx.taken_branches += 1
-                        pen += br_penalty
-                    if pen:
-                        ctx.stall_until = cycle + 1 + pen
-                    ctx.pending = None
-                    ctx.packet = None
-                    if instr_limit is not None and ctx.issued_instrs >= instr_limit:
-                        finished = ctx
-
-            stats.cycles += 1
-            self.cycle += 1
-            if self.rotate and n > 1:
-                self._rot = (self._rot + 1) % len(self._perms)
-            if finished is not None:
-                return "limit"
-        return "timeslice"
+        return self.engine.run(self, max_cycles, instr_limit)

@@ -7,6 +7,12 @@ replaced; to improve fairness and remove bias, replacements are drawn at
 random - preferring threads that were not just running - exactly as the
 paper describes.  Execution stops when any thread completes the per-run
 instruction quota.
+
+The scheduler drives the core through the engine protocol only
+(``core.run(budget, instr_limit) -> "limit" | "timeslice"``): every
+piece of state it touches between slices — thread contexts, counters,
+caches, stats — is shared by all engines, so timeslicing works
+identically whether the core runs the reference or the fast engine.
 """
 
 from __future__ import annotations
@@ -82,7 +88,7 @@ class Multitasker:
         core.set_contexts(running)
         if warmup_instrs > 0:
             core.run(64 * warmup_instrs + 1024, warmup_instrs)
-            core.stats.__init__()
+            core.stats.reset()
             for t in self.threads:
                 t.issued_instrs = 0
                 t.issued_ops = 0

@@ -16,7 +16,21 @@ __all__ = ["SimStats"]
 
 @dataclass
 class SimStats:
-    """Counters accumulated by one simulation run."""
+    """Counters accumulated by one simulation run.
+
+    Field semantics (paper, Section 2):
+
+    * ``cycles`` — every simulated cycle, issuing or not.
+    * ``ops`` — useful operations issued (the IPC numerator).
+    * ``instrs`` — VLIW instruction words issued.  Each co-issued thread
+      contributes exactly one word per issue cycle, so this also equals
+      the sum over ``merged_hist`` of ``n_threads * cycles``.
+    * ``vertical_waste`` — cycles where **no** thread issued (all stalled
+      on cache misses / branch penalties).  Horizontal waste — unfilled
+      issue slots on cycles that *did* issue — is derived, not counted:
+      see :meth:`horizontal_waste`.
+    * ``merged_hist`` — ``{threads co-issued: issue cycles}``.
+    """
 
     cycles: int = 0
     ops: int = 0
@@ -26,10 +40,22 @@ class SimStats:
     merged_hist: dict = field(default_factory=dict)
     context_switches: int = 0
 
-    def record_issue(self, n_threads: int, n_ops: int, n_instrs: int) -> None:
+    def record_issue(self, n_threads: int, n_ops: int) -> None:
+        """Account one issuing cycle: ``n_threads`` co-issued instruction
+        words carrying ``n_ops`` useful operations in total."""
         self.ops += n_ops
-        self.instrs += n_instrs
+        self.instrs += n_threads
         self.merged_hist[n_threads] = self.merged_hist.get(n_threads, 0) + 1
+
+    def reset(self) -> None:
+        """Zero every counter in place (object identity is preserved, so
+        a core's engine keeps seeing the same stats instance)."""
+        self.cycles = 0
+        self.ops = 0
+        self.instrs = 0
+        self.vertical_waste = 0
+        self.merged_hist = {}
+        self.context_switches = 0
 
     @property
     def ipc(self) -> float:

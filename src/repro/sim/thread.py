@@ -54,10 +54,9 @@ class ThreadState:
         """Pull the next instruction from the stream into ``pending``."""
         rec = next(self.stream)
         self.pending = rec
-        self.packet = ExecPacket.from_mop(rec.mop, 0)
-        # identify the packet by thread object: port positions rotate
-        # every cycle, thread identity does not.
-        self.packet.ports = (self,)
+        # the packet is owned by the thread object, not a port index:
+        # port positions rotate every cycle, thread identity does not.
+        self.packet = ExecPacket.from_mop(rec.mop, self)
 
     def ipc(self, cycles: int) -> float:
         return self.issued_ops / cycles if cycles else 0.0

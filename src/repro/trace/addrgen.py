@@ -53,12 +53,20 @@ class _Stream(AddressGenerator):
 class _Random(AddressGenerator):
     """Uniform aligned accesses over the footprint (rand & chase)."""
 
-    __slots__ = ()
+    __slots__ = ("_n_slots", "_align", "_randbelow")
+
+    def __init__(self, pattern, thread_id, pattern_index, rng):
+        super().__init__(pattern, thread_id, pattern_index, rng)
+        self._n_slots = pattern.footprint // pattern.align
+        self._align = pattern.align
+        # randrange(n) reduces to _randbelow(n) for a positive int bound;
+        # binding it once skips the per-call argument normalization while
+        # drawing the identical sample from the shared thread RNG.  Fall
+        # back to the public API on interpreters without the attribute.
+        self._randbelow = getattr(rng, "_randbelow", None) or rng.randrange
 
     def next_address(self) -> int:
-        p = self.pattern
-        n_slots = p.footprint // p.align
-        return self.base + self.rng.randrange(n_slots) * p.align
+        return self.base + self._randbelow(self._n_slots) * self._align
 
 
 def make_generator(pattern: AccessPattern, thread_id: int, pattern_index: int,

@@ -13,27 +13,47 @@ Branch outcomes:
   therefore correct for loops re-entered from outer loops;
 * ``bernoulli`` branches sample their taken probability from the
   thread-private seeded RNG (deterministic per seed).
+
+Two consumption modes produce the identical record sequence (locked
+together by ``tests/test_trace.py``):
+
+* ``next(stream)`` walks the control flow with a plain generator, one
+  record per resume — the reference engine's per-fetch path;
+* :meth:`InstructionStream.materialize` batch-generates records with an
+  explicit ``(block, instruction)`` state machine into a buffer the fast
+  engine indexes directly, amortizing the walk overhead and reusing
+  immutable records for memory-free instructions.
+
+A stream commits to whichever mode touches it first; mixing afterwards
+stays correct (the buffer always drains before the walk advances).
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from itertools import islice
 
 from repro.trace.addrgen import make_generator
 
 __all__ = ["Fetch", "InstructionStream"]
 
 
-@dataclass(frozen=True)
 class Fetch:
-    """One dynamically fetched VLIW instruction."""
+    """One dynamically fetched VLIW instruction (treat as read-only:
+    memory-free records are shared across executions)."""
 
-    mop: object
-    taken: bool
-    addrs: tuple
-    #: BranchInfo of the contained branch, or None
-    branch: object
+    __slots__ = ("mop", "taken", "addrs", "branch")
+
+    def __init__(self, mop, taken: bool, addrs: tuple, branch):
+        self.mop = mop
+        self.taken = taken
+        self.addrs = addrs
+        #: BranchInfo of the contained branch, or None
+        self.branch = branch
+
+    def __repr__(self) -> str:
+        return (f"Fetch(mop={self.mop!r}, taken={self.taken}, "
+                f"addrs={self.addrs}, branch={self.branch})")
 
 
 class InstructionStream:
@@ -48,13 +68,72 @@ class InstructionStream:
             for i, p in enumerate(program.patterns)
         ]
         self._counters: dict[int, int] = {}
-        self._iter = self._walk()
+        #: lazy-mode walk generator (created on first ``next()``).
+        self._gen = None
+        #: bulk-mode walk position: next (block, instruction) to fetch.
+        self._bi = 0
+        self._mi = 0
+        #: materialized-but-not-yet-consumed records (see materialize()).
+        self._buf: list[Fetch] = []
+        self._pos = 0
+        #: immutable records reused across executions (bulk mode): mop ->
+        #: Fetch for branchless memory-free instructions, (mop, taken) ->
+        #: Fetch for memory-free branches.
+        self._const: dict = {}
+        #: mop -> tuple of bound next_address generators, in mem-op order.
+        self._mem_fns: dict = {}
 
     def __iter__(self):
-        return self._iter
+        return self
 
     def __next__(self) -> Fetch:
-        return next(self._iter)
+        pos = self._pos
+        buf = self._buf
+        if pos < len(buf):
+            self._pos = pos + 1
+            return buf[pos]
+        gen = self._gen
+        if gen is None:
+            if self._bi or self._mi or buf:
+                # the bulk walk already advanced: keep producing through
+                # it so the position stays consistent.
+                if pos:
+                    buf.clear()
+                    self._pos = pos = 0
+                self._fill(1)
+                self._pos = pos + 1
+                return buf[pos]
+            gen = self._gen = self._walk()
+        return next(gen)
+
+    @property
+    def buffered(self) -> int:
+        """Number of materialized records not yet consumed."""
+        return len(self._buf) - self._pos
+
+    def materialize(self, n: int) -> list[Fetch]:
+        """Pre-generate records so the next ``n`` fetches index a
+        prebuilt list instead of walking the control flow per fetch.
+
+        Purely a batching hint: records are produced by the same walk in
+        the same order, and ``next()`` always drains the buffer first, so
+        the observed stream is identical whether or not (and however
+        often) this is called.  Returns the internal buffer, whose first
+        :attr:`buffered` entries are the upcoming fetches.
+        """
+        buf = self._buf
+        if self._pos:
+            del buf[: self._pos]
+            self._pos = 0
+        need = n - len(buf)
+        if need > 0:
+            if self._gen is not None:
+                # stream already committed to the lazy generator walk:
+                # batch through it rather than forking the position.
+                buf.extend(islice(self._gen, need))
+            else:
+                self._fill(need)
+        return buf
 
     def _take_loop(self, block_idx: int, trip: int) -> bool:
         c = self._counters.get(block_idx, trip)
@@ -65,6 +144,9 @@ class InstructionStream:
         self._counters[block_idx] = c
         return True
 
+    # ------------------------------------------------------------------
+    # lazy mode: the walk as a plain generator, one resume per record
+    # ------------------------------------------------------------------
     def _walk(self):
         program = self.program
         blocks = program.blocks
@@ -97,3 +179,90 @@ class InstructionStream:
                         redirect = br.target
                         break
                 bi = redirect if redirect is not None else bi + 1
+
+    # ------------------------------------------------------------------
+    # bulk mode: explicit-state batch walk feeding the buffer
+    # ------------------------------------------------------------------
+    def _mem_generators(self, mop) -> tuple:
+        fns = self._mem_fns.get(mop)
+        if fns is None:
+            gens = self.gens
+            fns = tuple(gens[op.pattern].next_address for op in mop.mem_ops)
+            self._mem_fns[mop] = fns
+        return fns
+
+    def _fill(self, n: int) -> None:
+        """Append the next ``n`` records of the walk to the buffer.
+
+        RNG discipline: a record's memory addresses are always drawn
+        before its branch outcome (address generators and branch
+        sampling share the thread RNG), exactly like :meth:`_walk`.
+        """
+        buf = self._buf
+        append = buf.append
+        blocks = self.program.blocks
+        n_blocks = len(blocks)
+        rng_random = self.rng.random
+        const = self._const
+        take_loop = self._take_loop
+        mem_generators = self._mem_generators
+        bi = self._bi
+        mi = self._mi
+        produced = 0
+        while produced < n:
+            if bi >= n_blocks:  # fell off the end: kernel restarts
+                bi = 0
+                mi = 0
+            blk = blocks[bi]
+            mops = blk.mops
+            branches = blk.branches
+            n_mops = len(mops)
+            redirect = None
+            while mi < n_mops:
+                mop = mops[mi]
+                br = branches[mi]
+                mi += 1
+                taken = False
+                if mop.mem_ops:
+                    fns = mem_generators(mop)
+                    if len(fns) == 1:
+                        addrs = (fns[0](),)
+                    elif len(fns) == 2:
+                        addrs = (fns[0](), fns[1]())
+                    else:
+                        addrs = tuple(f() for f in fns)
+                    if br is not None:
+                        beh = br.behavior
+                        if beh.kind == "loop":
+                            taken = take_loop(bi, beh.trip)
+                        else:
+                            taken = beh.prob >= 1.0 or rng_random() < beh.prob
+                    rec = Fetch(mop, taken, addrs, br)
+                elif br is None:
+                    rec = const.get(mop)
+                    if rec is None:
+                        rec = const[mop] = Fetch(mop, False, (), None)
+                else:
+                    beh = br.behavior
+                    if beh.kind == "loop":
+                        taken = take_loop(bi, beh.trip)
+                    else:
+                        taken = beh.prob >= 1.0 or rng_random() < beh.prob
+                    rec = const.get((mop, taken))
+                    if rec is None:
+                        rec = const[mop, taken] = Fetch(mop, taken, (), br)
+                append(rec)
+                produced += 1
+                if taken:
+                    redirect = br.target
+                    break
+                if produced >= n:
+                    break
+            if redirect is not None:
+                bi = redirect
+                mi = 0
+            elif mi >= n_mops:
+                bi += 1
+                mi = 0
+        self._bi = bi
+        self._mi = mi

@@ -1,0 +1,210 @@
+"""Engine layer: protocol, differential bit-identity, fast-path guards.
+
+The differential suite is the contract that makes the engine layer safe:
+``FastEngine`` must produce bit-identical ``SimStats``, per-thread
+counters and cache counters to ``ReferenceEngine`` for every scheme in
+the registry on every Table 2 workload, including OS-scheduler
+multiprogramming runs (schemes with fewer ports than software threads
+context-switch every timeslice).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.arch import paper_machine
+from repro.kernels import by_name, compile_spec
+from repro.merge import PAPER_SCHEMES, get_scheme
+from repro.sim import (
+    ENGINES,
+    FastEngine,
+    MTCore,
+    ReferenceEngine,
+    SimConfig,
+    ThreadState,
+    make_engine,
+    run_workload,
+)
+from repro.sim.cache import Cache, CacheConfig, PerfectCache
+from repro.workloads import WORKLOAD_ORDER, workload_programs
+
+MACHINE = paper_machine()
+
+#: the full scheme registry: both baselines plus the fifteen 4-thread
+#: schemes of Figure 8 (parallel-CSMT variants included verbatim).
+ALL_SCHEMES = ["ST", "1S"] + PAPER_SCHEMES
+
+#: small but representative: real caches, warmup, timeslice switching.
+DIFF_CONFIG = SimConfig(instr_limit=300, timeslice=150, warmup_instrs=60)
+
+
+def _fingerprint(result):
+    """Everything the simulator reports, in comparable form."""
+    return (
+        dataclasses.asdict(result.stats),
+        result.per_thread(),
+        (result.icache.hits, result.icache.misses),
+        (result.dcache.hits, result.dcache.misses),
+    )
+
+
+def _run(programs, scheme, config, engine):
+    return _fingerprint(
+        run_workload(programs, scheme, dataclasses.replace(config, engine=engine))
+    )
+
+
+class TestDifferential:
+    """FastEngine == ReferenceEngine, bit for bit."""
+
+    @pytest.mark.parametrize("workload", WORKLOAD_ORDER)
+    def test_full_registry_on_workload(self, workload):
+        programs = workload_programs(workload, MACHINE)
+        for scheme in ALL_SCHEMES:
+            ref = _run(programs, scheme, DIFF_CONFIG, "reference")
+            fast = _run(programs, scheme, DIFF_CONFIG, "fast")
+            assert ref == fast, f"{workload}/{scheme} diverged"
+
+    def test_multiprogramming_context_switches(self):
+        """ST and 1S run 4 software threads on 1-2 contexts: the OS
+        scheduler swaps threads every timeslice on both engines."""
+        programs = workload_programs("LLMH", MACHINE)
+        for scheme in ("ST", "1S"):
+            cfg = dataclasses.replace(DIFF_CONFIG, engine="fast")
+            res = run_workload(programs, scheme, cfg)
+            assert res.stats.context_switches > 0
+            assert _run(programs, scheme, DIFF_CONFIG, "reference") == \
+                _fingerprint(res)
+
+    def test_perfect_caches(self):
+        programs = workload_programs("MMHH", MACHINE)
+        cfg = dataclasses.replace(DIFF_CONFIG, perfect_icache=True,
+                                  perfect_dcache=True)
+        for scheme in ("ST", "1S", "2SC3", "3SSS"):
+            assert _run(programs, scheme, cfg, "reference") == \
+                _run(programs, scheme, cfg, "fast")
+
+    def test_no_warmup_and_other_seed(self):
+        programs = workload_programs("LLHH", MACHINE)
+        cfg = SimConfig(instr_limit=250, timeslice=100, warmup_instrs=0,
+                        seed=42)
+        for scheme in ("1S", "3CCC", "2SS"):
+            assert _run(programs, scheme, cfg, "reference") == \
+                _run(programs, scheme, cfg, "fast")
+
+    def test_no_rotation(self):
+        programs = workload_programs("LLLL", MACHINE)
+        cfg = dataclasses.replace(DIFF_CONFIG, rotate_priority=False)
+        for scheme in ("3CCC", "3SSS"):
+            assert _run(programs, scheme, cfg, "reference") == \
+                _run(programs, scheme, cfg, "fast")
+
+    def test_max_cycles_timeslice_boundary(self):
+        """Both engines must consume cycle budgets identically."""
+        programs = workload_programs("MMMM", MACHINE)
+        for max_cycles in (1, 7, 150, 1543):
+            cfg = dataclasses.replace(DIFF_CONFIG, max_cycles=max_cycles)
+            assert _run(programs, "1S", cfg, "reference") == \
+                _run(programs, "1S", cfg, "fast")
+
+    def test_tiny_memo_forces_eviction(self):
+        """A minuscule memo bound exercises the clear-on-full path
+        without changing any decision."""
+        programs = workload_programs("LLLL", MACHINE)
+        scheme = get_scheme("2SC3")
+
+        def build(engine):
+            core = MTCore(MACHINE, scheme, Cache(CacheConfig()),
+                          Cache(CacheConfig()), engine=engine)
+            ts = [ThreadState(p, sw_id=i, seed=1 + 17 * i)
+                  for i, p in enumerate(programs)]
+            core.set_contexts(ts)
+            core.run(3_000, instr_limit=500)
+            return (dataclasses.asdict(core.stats),
+                    [(t.issued_instrs, t.issued_ops) for t in ts])
+
+        assert build(ReferenceEngine()) == build(FastEngine(memo_limit=8))
+
+
+class TestEngineProtocol:
+    def test_registry_contents(self):
+        assert set(ENGINES) == {"reference", "fast"}
+
+    def test_make_engine_from_name_class_instance(self):
+        assert isinstance(make_engine("fast"), FastEngine)
+        assert isinstance(make_engine("reference"), ReferenceEngine)
+        assert isinstance(make_engine(FastEngine), FastEngine)
+        engine = FastEngine()
+        assert make_engine(engine) is engine
+
+    def test_make_engine_rejects_unknown(self):
+        with pytest.raises(KeyError, match="unknown engine"):
+            make_engine("warp")
+        with pytest.raises(TypeError):
+            make_engine(42)
+
+    def test_core_default_engine_is_fast(self):
+        core = MTCore(MACHINE, get_scheme("ST"), PerfectCache(),
+                      PerfectCache())
+        assert core.engine.name == "fast"
+
+    def test_config_threads_engine_to_core(self):
+        prog = compile_spec(by_name("mcf"), MACHINE)
+        cfg = SimConfig(instr_limit=50, timeslice=50, warmup_instrs=0,
+                        engine="reference")
+        res = run_workload([prog], "ST", cfg)
+        assert res.stats.cycles > 0  # ran through the reference engine
+
+
+class TestFastPaths:
+    """Direct checks of the fast engine's batching behaviors."""
+
+    def _single(self, engine, **cache_kw):
+        prog = compile_spec(by_name("mcf"), MACHINE)
+        core = MTCore(MACHINE, get_scheme("ST"),
+                      cache_kw.get("icache") or PerfectCache(),
+                      cache_kw.get("dcache") or Cache(CacheConfig()),
+                      engine=engine)
+        t = ThreadState(prog, 0, seed=3)
+        core.set_contexts([t])
+        return core, t
+
+    def test_idle_skip_accounts_vertical_waste(self):
+        """mcf stalls constantly; the fast engine must report exactly
+        the reference's vertical waste despite skipping those cycles."""
+        ref_core, _ = self._single("reference")
+        fast_core, _ = self._single("fast")
+        ref_core.run(5_000, instr_limit=400)
+        fast_core.run(5_000, instr_limit=400)
+        assert ref_core.stats.vertical_waste > 0
+        assert dataclasses.asdict(ref_core.stats) == \
+            dataclasses.asdict(fast_core.stats)
+
+    def test_empty_core_burns_budget_as_vertical_waste(self):
+        for engine in ("reference", "fast"):
+            core = MTCore(MACHINE, get_scheme("1S"), PerfectCache(),
+                          PerfectCache(), engine=engine)
+            assert core.run(123) == "timeslice"
+            assert core.stats.cycles == 123
+            assert core.stats.vertical_waste == 123
+            assert core.cycle == 123
+
+    def test_cycle_and_rotation_state_shared_across_runs(self):
+        """Engines persist cycle/rotation on the core between calls."""
+        cores = {}
+        for engine in ("reference", "fast"):
+            core, _ = self._single(engine)
+            for _ in range(5):
+                core.run(137, instr_limit=None)
+            cores[engine] = core
+        a, b = cores["reference"], cores["fast"]
+        assert a.cycle == b.cycle == 5 * 137
+        assert a._rot == b._rot
+
+    def test_zero_budget_is_a_noop(self):
+        core, t = self._single("fast")
+        assert core.run(0, instr_limit=10) == "timeslice"
+        assert core.stats.cycles == 0
+        assert t.issued_instrs == 0

@@ -1,12 +1,12 @@
 """Scheme AST semantics: priority, pass-through, commit losses,
-parallel/serial functional equivalence."""
+parallel/serial functional equivalence, compiled-plan equivalence."""
 
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.arch import paper_machine
-from repro.merge import get_scheme
+from repro.merge import PAPER_SCHEMES, get_scheme
 from repro.merge.packet import MergeRules
 from repro.merge.scheme import Leaf, Node, ParCsmt, Scheme
 from tests.conftest import packet
@@ -186,3 +186,129 @@ class TestFunctionalEquivalence:
             if p is not None and i in out.ports
         )
         assert bin(out.mask).count("1") == member_bits
+
+
+def _random_parc_scheme(draw):
+    """A random scheme whose root is a parallel CSMT over 2-4 children
+    (leaves or S-pairs), covering ports densely."""
+    shapes = draw(st.sampled_from([
+        (1, 1), (1, 1, 1), (1, 1, 1, 1), (2, 1), (1, 2), (2, 2),
+        (2, 1, 1), (1, 1, 2),
+    ]))
+    port = 0
+    children = []
+    for width in shapes:
+        if width == 1:
+            children.append(Leaf(port))
+            port += 1
+        else:
+            children.append(Node("S", Leaf(port), Leaf(port + 1)))
+            port += 2
+    return ParCsmt(children), port
+
+
+def _left_deep_cascade(children):
+    """The serial-cascade equivalent of a parallel CSMT block."""
+    acc = children[0]
+    for ch in children[1:]:
+        acc = Node("C", acc, ch)
+    return acc
+
+
+def _ports_for(draw, n_ports):
+    ports = []
+    for p in range(n_ports):
+        if draw(st.booleans()):
+            ports.append(None)
+            continue
+        clusters = {}
+        for c in range(4):
+            if draw(st.booleans()):
+                clusters[c] = (draw(st.integers(1, 2)), 0, 0, 0)
+        if not clusters:
+            clusters = {draw(st.integers(0, 3)): (1, 0, 0, 0)}
+        ports.append(packet(MACHINE, clusters, p))
+    return ports
+
+
+class TestParallelSerialProperty:
+    """Satellite property: ANY parallel CSMT block selects identically
+    to its equivalent left-deep C cascade on random packet sets."""
+
+    @staticmethod
+    @st.composite
+    def parc_case(draw):
+        root, n_ports = _random_parc_scheme(draw)
+        return root, _ports_for(draw, n_ports)
+
+    @given(parc_case())
+    def test_parc_equals_left_deep_cascade(self, case):
+        root, ports = case
+        cascade = _left_deep_cascade(root.children)
+        a = root.eval(ports, RULES)
+        b = cascade.eval(ports, RULES)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert (a.mask, a.packed, a.n_ops, a.ports) == \
+                (b.mask, b.packed, b.n_ops, b.ports)
+
+
+class TestCompiledPlanProperty:
+    """Satellite property: the compiled plan (stack interpreter, the
+    specialized straight-line function and the pair table) must match
+    ``root.eval`` on the same inputs for every registry scheme."""
+
+    @staticmethod
+    @st.composite
+    def registry_case(draw):
+        name = draw(st.sampled_from(["ST", "1S"] + PAPER_SCHEMES))
+        scheme = get_scheme(name)
+        return scheme, _ports_for(draw, scheme.n_ports)
+
+    @given(registry_case())
+    def test_plan_select_matches_eval(self, case):
+        scheme, ports = case
+        plan = scheme.compile(RULES)
+        a = scheme.root.eval(ports, RULES)
+        b = plan.select(ports)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert (a.mask, a.packed, a.n_ops, a.ports) == \
+                (b.mask, b.packed, b.n_ops, b.ports)
+
+    @given(registry_case())
+    def test_specialized_function_matches_eval(self, case):
+        scheme, ports = case
+        plan = scheme.compile(RULES)
+        flat = []
+        for p in ports:
+            flat += [p.mask, p.packed] if p is not None else [-1, 0]
+        got = plan.select_ports(*flat)
+        expect = scheme.root.eval(ports, RULES)
+        if expect is None:
+            assert got is None
+        else:
+            assert got == expect.ports
+
+    @given(registry_case())
+    def test_pair_table_matches_eval(self, case):
+        scheme, ports = case
+        valid = [i for i, p in enumerate(ports) if p is not None]
+        if len(valid) != 2:
+            return
+        i, j = valid
+        plan = scheme.compile(RULES)
+        is_smt, pa, pb, sel_first, sel_both = plan.pair_table[i, j]
+        a, b = ports[pa], ports[pb]
+        if is_smt:
+            s = a.packed + b.packed
+            got = sel_both if (RULES.caps_high - s) & RULES.high \
+                == RULES.high else sel_first
+        else:
+            got = sel_first if a.mask & b.mask else sel_both
+        assert got == scheme.root.eval(ports, RULES).ports
+
+    def test_plan_cached_per_rules(self):
+        scheme = get_scheme("2SC3")
+        assert scheme.compile(RULES) is scheme.compile(RULES)
+        assert scheme.compile(MergeRules(MACHINE)) is scheme.compile(RULES)

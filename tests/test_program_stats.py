@@ -53,8 +53,8 @@ class TestSimStats:
 
     def test_record_issue_accumulates(self):
         s = SimStats()
-        s.record_issue(2, 10, 2)
-        s.record_issue(1, 3, 1)
+        s.record_issue(2, 10)
+        s.record_issue(1, 3)
         s.cycles = 4
         assert s.ops == 13
         assert s.instrs == 3
@@ -63,8 +63,8 @@ class TestSimStats:
 
     def test_avg_threads(self):
         s = SimStats()
-        s.record_issue(4, 16, 4)
-        s.record_issue(2, 8, 2)
+        s.record_issue(4, 16)
+        s.record_issue(2, 8)
         assert s.avg_threads_per_cycle() == pytest.approx(3.0)
 
     def test_avg_threads_empty(self):
@@ -87,7 +87,7 @@ class TestSimStats:
     def test_summary_keys(self):
         s = SimStats()
         s.cycles = 2
-        s.record_issue(1, 4, 1)
+        s.record_issue(1, 4)
         out = s.summary(issue_width=16)
         for key in ("cycles", "ops", "ipc", "vertical_waste_frac",
                     "horizontal_waste_frac", "context_switches"):

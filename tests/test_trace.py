@@ -148,3 +148,71 @@ class TestFetchDistribution:
         most = counts.most_common()
         # loop-body instructions dominate the fetch stream
         assert most[0][1] > 10
+
+
+class TestMaterialize:
+    """The bulk walk behind materialize() must produce the identical
+    record sequence to the per-record generator walk."""
+
+    def _fields(self, recs):
+        return [(f.mop.address, f.taken, f.addrs,
+                 None if f.branch is None else id(f.branch)) for f in recs]
+
+    def test_bulk_equals_lazy_walk(self):
+        prog = _mini_loop(trip=4, prob=0.3)
+        lazy = InstructionStream(prog, 0, seed=11)
+        bulk = InstructionStream(prog, 0, seed=11)
+        a = self._fields(_take(lazy, 500))
+        bulk.materialize(500)
+        b = self._fields(_take(bulk, 500))
+        assert a == b
+
+    def test_mixed_batch_sizes_equal_lazy_walk(self):
+        prog = _mini_loop(trip=3, prob=0.5)
+        lazy = InstructionStream(prog, 2, seed=5)
+        bulk = InstructionStream(prog, 2, seed=5)
+        expect = self._fields(_take(lazy, 341))
+        got = []
+        for n in (1, 2, 7, 64, 3, 200, 64):
+            bulk.materialize(n)
+            assert bulk.buffered >= n
+            got.extend(self._fields([next(bulk) for _ in range(n)]))
+        assert got == expect[:len(got)]
+
+    def test_buffered_counts_down_as_consumed(self):
+        prog = _mini_loop()
+        s = InstructionStream(prog, 0, seed=0)
+        assert s.buffered == 0
+        s.materialize(10)
+        assert s.buffered == 10
+        next(s)
+        assert s.buffered == 9
+
+    def test_materialize_after_lazy_consumption(self):
+        """A stream already walked by next() keeps its position when a
+        batch is requested afterwards."""
+        prog = _mini_loop(trip=4, prob=0.2)
+        ref = InstructionStream(prog, 1, seed=9)
+        mixed = InstructionStream(prog, 1, seed=9)
+        expect = self._fields(_take(ref, 120))
+        got = self._fields(_take(mixed, 40))
+        mixed.materialize(50)
+        got += self._fields(_take(mixed, 80))
+        assert got == expect
+
+    def test_memory_free_records_are_reused(self):
+        """Bulk mode shares immutable records for memory-free mops."""
+        b = KernelBuilder("pure")
+        b.param("i")
+        b.live_out("i")
+        b.block("loop")
+        b.add("i", "i", 1)
+        b.add(None, "i", 2)
+        c = b.cmp(None, "i", 8)
+        b.br_loop(c, "loop", trip=8)
+        prog = compile_kernel(b.build(), MACHINE)
+        s = InstructionStream(prog, 0, seed=0)
+        s.materialize(100)
+        recs = [next(s) for _ in range(100)]
+        no_mem = [r for r in recs if not r.addrs and r.branch is None]
+        assert no_mem and len({id(r) for r in no_mem}) < len(no_mem)
