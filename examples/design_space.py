@@ -16,6 +16,7 @@ import sys
 
 from repro.arch import paper_machine
 from repro.eval.pareto import design_points, pareto_frontier, recommend
+from repro.eval.sweep import enumerate_candidates, enumerate_names
 from repro.merge import PAPER_SCHEMES, canonical, distinct_semantics
 from repro.sim import SimConfig, run_workload
 from repro.workloads import WORKLOAD_ORDER, workload_programs
@@ -61,6 +62,18 @@ def main() -> None:
           f"2SC3 vs 1S: {hybrid / ipc['1S'] - 1:+.0%}   "
           f"2SC3 vs 3SSS: {hybrid / ipc['3SSS'] - 1:+.0%}")
     print("(paper: +14%, +45%, -11%)")
+
+    # The paper's 16 schemes are a hand-picked sample; the full grammar
+    # is larger and repro-eval can sweep all of it (see README
+    # "Design-space sweeps").
+    print("\nbeyond the paper's sample, the naming grammar spans:")
+    for n in (2, 3, 4, 5, 6):
+        names = enumerate_names(n)
+        semantics = enumerate_candidates(n)
+        print(f"  {n} threads: {len(names):3d} schemes, "
+              f"{len(semantics):3d} distinct semantics")
+    print("sweep them with: repro-eval sweep --threads N "
+          "[--budget-transistors T] [--shard i/N]")
 
 
 if __name__ == "__main__":

@@ -6,7 +6,7 @@ gate delays (5b) of the merge control alone, versus thread count, for a
 are excluded on both sides - the paper argues their area is equal, so the
 merge control is the only differentiating cost.
 
-Shapes reproduced (DESIGN.md C1-C3): CSMT-serial linear, CSMT-parallel
+Shapes reproduced (DESIGN.md section 5, C1-C3): CSMT-serial linear, CSMT-parallel
 exponential (functionally equivalent, lower delay), SMT linear with a
 20-40x bigger constant; CSMT-parallel crosses SMT between 5 and 8
 threads; CSMT delays stay far below SMT's.

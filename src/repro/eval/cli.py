@@ -1,23 +1,36 @@
-"""Command-line entry point: regenerate paper artifacts.
+"""Command-line entry point: regenerate paper artifacts, sweep designs.
 
-Usage::
+Three subcommands::
 
-    repro-eval --experiment fig10 --scale 0.5
-    repro-eval --experiment all --out results/ --jobs 4
-    repro-eval --experiment fig10 --resume results/   # skip done cells
-    repro-eval --experiment fig10 --engine reference  # executable spec
-    repro-eval --list
+    repro-eval run --experiment fig10 --scale 0.5
+    repro-eval run -e all --out results/ --jobs 4
+    repro-eval run -e fig10 --resume results/    # skip done cells
+    repro-eval run -e fig10 --engine reference   # executable spec
+    repro-eval run --list
+
+    repro-eval sweep --threads 3                 # full design space
+    repro-eval sweep --threads 4 --workloads LLHH,HHHH \\
+               --budget-transistors 6000         # Section 5.2 walk
+    repro-eval sweep --threads 3 --shard 1/2 --out shard1   # machine 1
+    repro-eval sweep --threads 3 --shard 2/2 --out shard2   # machine 2
+    repro-eval merge merged shard1 shard2        # reassemble
+    repro-eval sweep --threads 3 --resume merged # frontier, 0 new sims
+
+For backward compatibility a bare flag list (``repro-eval -e fig10``)
+runs the ``run`` subcommand.
 
 ``--scale`` multiplies the run length (1.0 = 20k instructions/thread;
-the paper used 100M - see DESIGN.md on scaling).  ``--out``/``--resume``
-name a *run directory* (created if missing) holding ``manifest.json``,
-per-cell values for resume, per-experiment JSON artifacts, and the
-shared on-disk compiled-program cache.
+the paper used 100M - see DESIGN.md section 3 on scaling).
+``--out``/``--resume`` name a *run directory* (created if missing)
+holding ``manifest.json``, per-cell values for resume, per-experiment
+JSON artifacts, and the shared on-disk compiled-program cache; giving
+both with different directories is an error.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -28,8 +41,18 @@ from repro.eval.experiments import (
     experiment_cells,
     run_experiment,
 )
-from repro.eval.store import RunStore, StoreMismatchError, run_fingerprint
+from repro.eval.store import (
+    RunStore,
+    StoreMismatchError,
+    merge_runs,
+    run_fingerprint,
+)
+from repro.eval.sweep import candidate_table, run_sweep
 from repro.sim.engine import ENGINES
+
+
+class _CliError(Exception):
+    """A user-facing CLI error (message printed, exit code 1)."""
 
 
 def _list_experiments() -> str:
@@ -44,14 +67,8 @@ def _list_experiments() -> str:
     return "\n".join(lines)
 
 
-def main(argv=None) -> int:
-    ap = argparse.ArgumentParser(
-        prog="repro-eval",
-        description="Regenerate tables/figures of Gupta et al., ICPP 2009",
-    )
-    ap.add_argument("--experiment", "-e", default="all",
-                    choices=sorted(ALL_EXPERIMENTS) + ["all"],
-                    help="which artifact to regenerate")
+def _add_sim_args(ap: argparse.ArgumentParser) -> None:
+    """Flags shared by every simulating subcommand."""
     ap.add_argument("--scale", type=float, default=1.0,
                     help="simulation length multiplier (default 1.0)")
     ap.add_argument("--engine", default="fast",
@@ -67,6 +84,58 @@ def main(argv=None) -> int:
     ap.add_argument("--resume", default=None, metavar="RUN_DIR",
                     help="resume a previous run directory: completed "
                          "cells are skipped (implies --out RUN_DIR)")
+
+
+def _resolve_run_dir(args) -> str | None:
+    """The run directory implied by --out/--resume, rejecting conflicts."""
+    if args.out and args.resume and \
+            os.path.normpath(args.out) != os.path.normpath(args.resume):
+        raise _CliError(
+            f"--out {args.out!r} conflicts with --resume {args.resume!r}: "
+            f"they name different run directories; pass one of them (or "
+            f"the same directory for both)"
+        )
+    return args.resume or args.out
+
+
+def _open_store(args, config, machine) -> RunStore | None:
+    run_dir = _resolve_run_dir(args)
+    if not run_dir:
+        return None
+    try:
+        return RunStore.open_or_create(
+            run_dir, run_fingerprint(config, machine))
+    except StoreMismatchError as exc:
+        raise _CliError(str(exc)) from None
+
+
+def _parse_shard(text: str) -> tuple[int, int]:
+    try:
+        index_s, _, count_s = text.partition("/")
+        index, count = int(index_s), int(count_s)
+    except ValueError:
+        raise _CliError(
+            f"bad --shard {text!r}; expected INDEX/COUNT, e.g. 1/2"
+        ) from None
+    if count < 1 or not 1 <= index <= count:
+        raise _CliError(
+            f"bad --shard {text!r}; INDEX must be in 1..COUNT"
+        )
+    return index, count
+
+
+# ----------------------------------------------------------------------
+# run — regenerate paper artifacts
+# ----------------------------------------------------------------------
+def _cmd_run(argv) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-eval run",
+        description="Regenerate tables/figures of Gupta et al., ICPP 2009",
+    )
+    ap.add_argument("--experiment", "-e", default="all",
+                    choices=sorted(ALL_EXPERIMENTS) + ["all"],
+                    help="which artifact to regenerate")
+    _add_sim_args(ap)
     ap.add_argument("--list", action="store_true",
                     help="list experiments with their grid sizes and exit")
     args = ap.parse_args(argv)
@@ -79,16 +148,7 @@ def main(argv=None) -> int:
         else [args.experiment]
     config = default_config(args.scale, engine=args.engine)
     machine = paper_machine()
-
-    store = None
-    run_dir = args.resume or args.out
-    if run_dir:
-        try:
-            store = RunStore.open_or_create(
-                run_dir, run_fingerprint(config, machine))
-        except StoreMismatchError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
+    store = _open_store(args, config, machine)
 
     # fig11/fig12 reuse fig10's simulations: compute fig10 once.
     fig10_shared = None
@@ -117,6 +177,127 @@ def main(argv=None) -> int:
             path = store.save_artifact(result)
             print(f"  saved: {path}")
     return 1 if failures else 0
+
+
+# ----------------------------------------------------------------------
+# sweep — enumerate + simulate the whole N-thread design space
+# ----------------------------------------------------------------------
+def _cmd_sweep(argv) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-eval sweep",
+        description="Sweep every well-formed N-thread merging scheme "
+                    "through the experiment grid and report the "
+                    "IPC/cost Pareto frontier",
+    )
+    ap.add_argument("--threads", "-t", type=int, default=4,
+                    help="scheme port count to enumerate (default 4)")
+    ap.add_argument("--workloads", default=None,
+                    help="comma-separated Table 2 workloads "
+                         "(default: all nine)")
+    ap.add_argument("--budget-transistors", type=float, default=None,
+                    help="recommend the best scheme within this "
+                         "transistor budget")
+    ap.add_argument("--budget-gate-delays", type=float, default=None,
+                    help="recommend the best scheme within this "
+                         "gate-delay budget")
+    ap.add_argument("--shard", default=None, metavar="I/N",
+                    help="simulate only the i-th of N deterministic grid "
+                         "shards (merge the run directories afterwards)")
+    _add_sim_args(ap)
+    ap.add_argument("--list", action="store_true",
+                    help="list the enumerated candidates + costs and exit "
+                         "(no simulation)")
+    args = ap.parse_args(argv)
+
+    if not 1 <= args.threads <= 8:
+        raise _CliError(
+            f"--threads must be in 1..8 (got {args.threads}); the design "
+            f"space grows ~3x per thread and 8 already enumerates 610 "
+            f"schemes"
+        )
+    machine = paper_machine()
+    if args.list:
+        print(candidate_table(args.threads, machine).render())
+        return 0
+
+    workloads = None
+    if args.workloads:
+        workloads = [w.strip().upper() for w in args.workloads.split(",")
+                     if w.strip()]
+    shard = _parse_shard(args.shard) if args.shard else None
+    config = default_config(args.scale, engine=args.engine)
+    store = _open_store(args, config, machine)
+    if shard is not None and store is None:
+        raise _CliError(
+            "--shard requires a run directory (--out/--resume): a "
+            "shard's cell values are its only output and exist to be "
+            "merged later; without a store they would be discarded"
+        )
+
+    t0 = time.time()
+    try:
+        result, grid = run_sweep(
+            args.threads, workloads, config, machine, jobs=args.jobs,
+            store=store, shard=shard,
+            budget_transistors=args.budget_transistors,
+            budget_gate_delays=args.budget_gate_delays)
+    except (KeyError, ValueError) as exc:
+        # e.g. unknown/duplicate --workloads, validated by run_sweep
+        raise _CliError(exc.args[0] if exc.args else str(exc)) from None
+    print(result.render())
+    print(f"  [{time.time() - t0:.1f}s]  cells: {grid.executed} simulated, "
+          f"{grid.reused} reused")
+    print()
+    if store is not None and shard is None:
+        path = store.save_artifact(result)
+        print(f"  saved: {path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# merge — reassemble shard run directories
+# ----------------------------------------------------------------------
+def _cmd_merge(argv) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-eval merge",
+        description="Merge the recorded cells of several run directories "
+                    "(e.g. sweep shards) into one",
+    )
+    ap.add_argument("dest", help="destination run directory "
+                                 "(created if missing)")
+    ap.add_argument("sources", nargs="+", help="source run directories")
+    args = ap.parse_args(argv)
+    try:
+        dest = merge_runs(args.dest, args.sources)
+    except (StoreMismatchError, ValueError) as exc:
+        raise _CliError(str(exc)) from None
+    for experiment in dest.experiments_with_cells():
+        print(f"{experiment}: {len(dest.load_cells(experiment))} cells")
+    print(f"merged {len(args.sources)} run directories into {dest.path}")
+    return 0
+
+
+_COMMANDS = {"run": _cmd_run, "sweep": _cmd_sweep, "merge": _cmd_merge}
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        print(f"\nsubcommands: {', '.join(sorted(_COMMANDS))} "
+              f"(see `repro-eval SUBCOMMAND --help`)")
+        return 0
+    if argv and not argv[0].startswith("-") and argv[0] not in _COMMANDS:
+        print(f"error: unknown subcommand {argv[0]!r}; "
+              f"choose from {sorted(_COMMANDS)}", file=sys.stderr)
+        return 2
+    command, rest = (_COMMANDS[argv[0]], argv[1:]) \
+        if argv and argv[0] in _COMMANDS else (_cmd_run, argv)
+    try:
+        return command(rest)
+    except _CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -12,6 +12,12 @@ through :func:`~repro.eval.runner.run_cells`, which provides parallel
 fan-out (``jobs``), compile-once program caching, and resume from a
 :class:`~repro.eval.store.RunStore` (``store``).  Assembly from cell
 values is deterministic, so ``jobs=N`` output is identical to serial.
+
+Beyond the paper's fixed artifacts, :mod:`repro.eval.sweep` drives the
+same grid machinery over the *enumerated* scheme design space
+(``repro-eval sweep``); the golden corpus under ``tests/golden/`` pins
+the four simulation-heavy artifacts here byte-for-byte at reduced scale
+under both engines.
 """
 
 from __future__ import annotations

@@ -36,7 +36,7 @@ from repro.kernels.cache import get_default_cache, set_cache_dir
 from repro.sim import run_workload
 from repro.workloads import workload_specs
 
-__all__ = ["Cell", "GridResult", "run_cell", "run_cells"]
+__all__ = ["Cell", "GridResult", "run_cell", "run_cells", "shard_cells"]
 
 #: cell config variants -> SimConfig transform.
 _VARIANTS = {
@@ -89,6 +89,24 @@ class GridResult:
     def __getitem__(self, cell_or_key) -> float:
         key = getattr(cell_or_key, "key", cell_or_key)
         return self.values[key]
+
+
+def shard_cells(cells, index: int, count: int) -> list:
+    """Deterministic 1-based shard ``index``/``count`` of a grid.
+
+    Cells are ordered by their stable keys and dealt round-robin, so the
+    split depends only on the grid's contents - never on the caller's
+    iteration order or host.  Shards are disjoint and their union is the
+    full grid, which is what lets a sweep run ``--shard 1/2`` and
+    ``--shard 2/2`` on different machines and reassemble the merged run
+    directories into exactly the single-machine result.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    if not 1 <= index <= count:
+        raise ValueError(f"shard index must be in 1..{count}, got {index}")
+    ordered = sorted(cells, key=lambda c: c.key)
+    return ordered[index - 1::count]
 
 
 def _cell_specs(cell: Cell):

@@ -12,6 +12,13 @@ killed run loses at most the in-flight cells; re-running with the same
 run directory skips every recorded cell.  A manifest fingerprint guards
 against resuming with a different simulation config or machine — mixing
 scales in one run directory would silently corrupt the artifact.
+
+Run directories compose: :func:`merge_runs` unions the recorded cells of
+several directories (e.g. the shards of a ``repro-eval sweep --shard
+i/N`` campaign run on different machines) into one, verifying that every
+source carries the same fingerprint and that no two sources disagree on
+a cell's value.  Resuming from the merged directory then reassembles the
+exact single-machine result with zero new simulations.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ import tempfile
 
 from repro.eval.result import ExperimentResult
 
-__all__ = ["RunStore", "StoreMismatchError", "run_fingerprint"]
+__all__ = ["RunStore", "StoreMismatchError", "merge_runs", "run_fingerprint"]
 
 
 class StoreMismatchError(RuntimeError):
@@ -138,7 +145,27 @@ class RunStore:
         _atomic_write(self._cells_path(experiment),
                       json.dumps(cells, indent=0, sort_keys=True))
 
+    def record_cells(self, experiment: str, values: dict) -> None:
+        """Record a batch of completed cells in one atomic write."""
+        cells = self.load_cells(experiment)
+        cells.update(values)
+        _atomic_write(self._cells_path(experiment),
+                      json.dumps(cells, indent=0, sort_keys=True))
+
+    def experiments_with_cells(self) -> list[str]:
+        """Experiments that have recorded cell values, sorted by name."""
+        try:
+            names = os.listdir(os.path.join(self.path, "cells"))
+        except OSError:
+            return []
+        return sorted(n[:-5] for n in names if n.endswith(".json"))
+
     # -- artifacts -------------------------------------------------------
+    def fingerprint(self) -> dict | None:
+        """The recorded fingerprint, or None when absent/empty."""
+        manifest = self.manifest()
+        return (manifest or {}).get("fingerprint") or None
+
     def save_artifact(self, result: ExperimentResult) -> str:
         path = result.save(self.path)
         self.update_manifest(result.experiment, status="done")
@@ -155,3 +182,74 @@ class RunStore:
             columns=data["columns"], rows=[tuple(r) for r in data["rows"]],
             notes=data.get("notes", []), meta=data.get("meta", {}),
         )
+
+
+def merge_runs(dest_path, source_paths) -> RunStore:
+    """Union several run directories' cells into one (shard reassembly).
+
+    Every source (and the destination, if it already has one) must carry
+    the same manifest fingerprint - merging shards simulated at
+    different scales or machines would silently corrupt the campaign.
+    Unstamped sources (created without a fingerprint) may only merge
+    with other unstamped directories, since compatibility cannot be
+    verified against them.  Sources disagreeing on a recorded cell's
+    value also raise :class:`StoreMismatchError`: shards are disjoint by
+    construction, so a conflict means the directories do not belong to
+    one campaign.  All validation happens before anything is written -
+    a rejected merge never leaves the destination half-merged.
+
+    Returns the destination store; resuming an experiment or sweep from
+    it reuses every merged cell.
+    """
+    sources = [RunStore(str(p)) for p in source_paths]
+    if not sources:
+        raise ValueError("need at least one source run directory")
+    for src in sources:
+        if src.manifest() is None:
+            raise StoreMismatchError(
+                f"source {src.path!r} is not a run directory "
+                f"(no readable manifest)"
+            )
+    stamped = [src.fingerprint() for src in sources]
+    present = [fp for fp in stamped if fp is not None]
+    if present and len(present) != len(stamped):
+        unstamped = [src.path for src, fp in zip(sources, stamped)
+                     if fp is None]
+        raise StoreMismatchError(
+            f"sources {unstamped} carry no config/machine fingerprint "
+            f"but other sources do; compatibility cannot be verified"
+        )
+    for src, fp in zip(sources, stamped):
+        if fp is not None and fp != present[0]:
+            raise StoreMismatchError(
+                f"source {src.path!r} was created with a different "
+                f"config/machine than the other sources"
+            )
+    fingerprint = present[0] if present else None
+    dest = RunStore.open_or_create(dest_path, fingerprint)
+    if fingerprint is None and dest.fingerprint() is not None:
+        raise StoreMismatchError(
+            f"destination {dest.path!r} records a config/machine "
+            f"fingerprint but the sources carry none; compatibility "
+            f"cannot be verified"
+        )
+    # validate everything (cross-source and against the destination)
+    # before the first write.
+    merged: dict[str, dict[str, float]] = {}
+    for src in sources:
+        for experiment in src.experiments_with_cells():
+            bucket = merged.setdefault(
+                experiment, dict(dest.load_cells(experiment)))
+            for key, value in src.load_cells(experiment).items():
+                if key in bucket and bucket[key] != value:
+                    raise StoreMismatchError(
+                        f"cell {key!r} of {experiment!r} has conflicting "
+                        f"values across sources ({bucket[key]!r} vs "
+                        f"{value!r}); these run directories do not belong "
+                        f"to one campaign"
+                    )
+                bucket[key] = value
+    for experiment, cells in merged.items():
+        dest.record_cells(experiment, cells)
+        dest.update_manifest(experiment, cells=len(cells))
+    return dest

@@ -1,0 +1,343 @@
+"""Scheme design-space sweeps: every well-formed N-thread merge scheme.
+
+The paper's Section 5.2 walks cost/performance by hand over the 16
+published 4-thread schemes.  This module mechanizes the walk over the
+*entire* design space the naming grammar spans:
+
+1. :func:`enumerate_names` generates every well-formed N-thread scheme
+   name - all cascades of S / C / Ck tokens, the N=4 balanced trees, and
+   the parallel ``CN`` block - qualified with ``@N`` whenever the bare
+   name would parse to a different port count.
+2. :func:`enumerate_candidates` dedupes them through
+   :func:`repro.merge.registry.semantic_key` (parc-lowering + rotation
+   schedule): each :class:`CandidateGroup` simulates once, via the
+   member whose AST already is the parc-free normal form, and keeps
+   every member as a distinct hardware design point.
+3. :func:`sweep_cells` expands the groups into the
+   :mod:`~repro.eval.runner` grid over selectable Table 2 workloads -
+   every workload keeps its four software threads and the OS model
+   timeshares them over the scheme's N contexts, exactly as Figure 4
+   runs 4-thread workloads on 1- and 2-context processors.  Grids run
+   parallel (``jobs``), resumable (``store``) and shardable
+   (:func:`~repro.eval.runner.shard_cells` + ``--shard i/N`` +
+   :func:`~repro.eval.store.merge_runs`).
+4. :func:`run_sweep` joins measured IPC with
+   :func:`~repro.cost.scheme_cost` into :mod:`~repro.eval.pareto` design
+   points, the Pareto frontier, and (under ``--budget-*`` limits) the
+   Section 5.2 recommendation.
+
+The grammar grows fast - 17 names (12 semantics) at 4 threads, 89 at 6,
+~2600 at 10 - which is what the parallel/cached/resumable grid machinery
+is for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.arch import paper_machine
+from repro.cost import scheme_cost
+from repro.eval.experiments import default_config
+from repro.eval.pareto import design_points, pareto_frontier, recommend
+from repro.eval.result import ExperimentResult
+from repro.eval.runner import Cell, GridResult, run_cells, shard_cells
+from repro.merge import canonical_root, get_scheme, parse_scheme, semantic_key
+from repro.workloads import TABLE2, WORKLOAD_ORDER
+
+__all__ = [
+    "CandidateGroup",
+    "candidate_table",
+    "enumerate_candidates",
+    "enumerate_names",
+    "run_sweep",
+    "sweep_cells",
+    "sweep_experiment_id",
+]
+
+
+@dataclass(frozen=True)
+class CandidateGroup:
+    """Schemes sharing one simulated semantics.
+
+    ``canonical`` is the member whose AST is already the parc-free
+    normal form (it always exists: the normal form of any grammar name
+    is itself a grammar name); it is the one that gets simulated.
+    ``members`` lists every enumerated name with this semantics -
+    distinct hardware designs with identical IPC.
+    """
+
+    canonical: str
+    members: tuple
+
+
+def _token_str(kind: str, width: int) -> str:
+    return "S" if kind == "S" else ("C" if width == 2 else f"C{width}")
+
+
+def _cascade_names(n_threads: int):
+    """Names of every cascade token sequence covering ``n_threads``.
+
+    A sequence starts with S (2 ports) or Ck (k ports) and extends with
+    S (+1 port) or Ck (+k-1 ports).  Single-token C cascades of width
+    > 2 are skipped: ``1Ck`` builds the identical ParCsmt AST as the
+    ``Ck`` special form, which :func:`enumerate_names` emits instead
+    (``1C`` stays - a *serial* 2-input block, distinct hardware from the
+    parallel ``C2``).
+    """
+    out = []
+
+    def extend(tokens, covered):
+        if covered == n_threads:
+            if len(tokens) == 1 and tokens[0] == ("C", n_threads) \
+                    and n_threads > 2:
+                return
+            out.append(f"{len(tokens)}"
+                       + "".join(_token_str(k, w) for k, w in tokens))
+            return
+        extend(tokens + [("S", 2)], covered + 1)
+        for w in range(2, n_threads - covered + 2):  # Ck adds k-1 ports
+            extend(tokens + [("C", w)], covered + w - 1)
+
+    extend([("S", 2)], 2)
+    for w in range(2, n_threads + 1):
+        extend([("C", w)], w)
+    return out
+
+
+@lru_cache(maxsize=None)
+def enumerate_names(n_threads: int) -> tuple:
+    """Every well-formed scheme name covering exactly ``n_threads``.
+
+    Includes all cascades, the balanced trees (N=4 only - the wired
+    2-level pairing needs exactly four leaves), and the parallel ``CN``
+    block.  Names that the default (4-thread-first) parse would resolve
+    to a different port count carry an explicit ``@N`` qualifier, so
+    every returned name round-trips through
+    :func:`~repro.merge.parser.parse_scheme` unambiguously.
+    """
+    if n_threads < 1:
+        raise ValueError(f"need >= 1 thread, got {n_threads}")
+    if n_threads == 1:
+        return ("ST",)
+    names = _cascade_names(n_threads)
+    if n_threads == 4:
+        names += [f"2{k1}{k2}" for k1 in "SC" for k2 in "SC"]
+    names.append(f"C{n_threads}")
+    qualified = []
+    for name in names:
+        if parse_scheme(name).n_ports != n_threads:
+            name = f"{name}@{n_threads}"
+        assert parse_scheme(name).n_ports == n_threads, name
+        qualified.append(name)
+    return tuple(sorted(qualified))
+
+
+@lru_cache(maxsize=None)
+def enumerate_candidates(n_threads: int) -> tuple:
+    """The deduplicated design space: one :class:`CandidateGroup` per
+    distinct simulated semantics, sorted by canonical name."""
+    groups: dict[str, list[str]] = {}
+    for name in enumerate_names(n_threads):
+        groups.setdefault(semantic_key(name), []).append(name)
+    out = []
+    for key, members in groups.items():
+        canon = [m for m in members
+                 if repr(get_scheme(m).root)
+                 == repr(canonical_root(get_scheme(m).root))]
+        assert len(canon) == 1, (key, members)
+        rest = sorted(m for m in members if m != canon[0])
+        out.append(CandidateGroup(canon[0], (canon[0], *rest)))
+    return tuple(sorted(out, key=lambda g: g.canonical))
+
+
+def sweep_experiment_id(n_threads: int) -> str:
+    """Store/artifact id of one sweep campaign (one per thread count)."""
+    return f"sweep{n_threads}"
+
+
+def _resolve_workloads(workloads) -> list:
+    if workloads is None:
+        return list(WORKLOAD_ORDER)
+    wls = list(workloads)
+    unknown = [w for w in wls if w not in TABLE2]
+    if unknown:
+        raise KeyError(
+            f"unknown workloads {unknown}; Table 2 defines {sorted(TABLE2)}"
+        )
+    if len(set(wls)) != len(wls):
+        raise ValueError(f"duplicate workloads in {wls}")
+    return wls
+
+
+def sweep_cells(n_threads: int = 4, workloads=None) -> list:
+    """The sweep's simulation grid: one cell per (workload, semantics).
+
+    Cells carry the canonical member only; the other members of each
+    group inherit its measured IPC at join time.  Workloads keep all
+    four Table 2 software threads regardless of ``n_threads`` - the OS
+    model timeshares them over the scheme's contexts.
+    """
+    experiment = sweep_experiment_id(n_threads)
+    return [Cell(experiment, "workload", wl, group.canonical)
+            for wl in _resolve_workloads(workloads)
+            for group in enumerate_candidates(n_threads)]
+
+
+def _point_dict(p) -> dict:
+    return {"scheme": p.scheme, "ipc": p.ipc,
+            "transistors": p.transistors, "gate_delays": p.gate_delays}
+
+
+def run_sweep(n_threads: int = 4, workloads=None, config=None, machine=None,
+              *, jobs: int = 1, store=None, shard=None,
+              budget_transistors: float | None = None,
+              budget_gate_delays: float | None = None
+              ) -> tuple[ExperimentResult, GridResult]:
+    """Sweep the N-thread design space over Table 2 workloads.
+
+    Args:
+        n_threads: port count of every candidate scheme.
+        workloads: Table 2 workload names (default: all nine).
+        config: base :class:`~repro.sim.config.SimConfig`.
+        machine: target machine (default: the paper's).
+        jobs: worker processes for the grid.
+        store: optional :class:`~repro.eval.store.RunStore` for
+            resume/sharding.
+        shard: optional ``(index, count)`` - simulate only that
+            deterministic slice of the grid (1-based).  The result is
+            then a partial cell report, not a frontier; merge the shard
+            run directories with :func:`~repro.eval.store.merge_runs`
+            and re-run without ``shard`` to assemble the frontier.
+        budget_transistors / budget_gate_delays: optional hardware
+            budget for the Section 5.2 recommendation.
+
+    Returns:
+        ``(result, grid)``: the artifact (design plane + frontier in
+        ``result.meta``) and the grid's executed/reused counts.
+    """
+    machine = machine or paper_machine()
+    config = config or default_config()
+    wls = _resolve_workloads(workloads)
+    groups = enumerate_candidates(n_threads)
+    experiment = sweep_experiment_id(n_threads)
+    cells = sweep_cells(n_threads, wls)
+
+    if shard is not None:
+        index, count = shard
+        part = shard_cells(cells, index, count)
+        grid = run_cells(part, config, machine, jobs=jobs, store=store)
+        rows = [(key, round(grid.values[key], 4))
+                for key in sorted(grid.values)]
+        result = ExperimentResult(
+            experiment=f"{experiment}.shard{index}of{count}",
+            title=(f"{n_threads}-thread scheme sweep - shard "
+                   f"{index}/{count} ({len(part)} of {len(cells)} cells)"),
+            columns=["cell", "IPC"],
+            rows=rows,
+            notes=[
+                "partial campaign: merge the shard run directories "
+                "(repro-eval merge DEST SRC...) and re-run the sweep "
+                "with --resume DEST to assemble the frontier",
+            ],
+            meta={"threads": n_threads, "workloads": wls,
+                  "shard": f"{index}/{count}",
+                  "cells_total": len(cells), "cells_in_shard": len(part)},
+        )
+        return result, grid
+
+    grid = run_cells(cells, config, machine, jobs=jobs, store=store)
+
+    # join: average IPC per semantics over the selected workloads, then
+    # expand to every member name with its own hardware cost.
+    avg_ipc = {}
+    labels = {}
+    for group in groups:
+        vals = [grid[Cell(experiment, "workload", wl, group.canonical)]
+                for wl in wls]
+        label = ",".join(group.members)
+        labels[group.canonical] = label
+        avg_ipc[label] = sum(vals) / len(vals)
+    all_members = [m for g in groups for m in g.members]
+    points = design_points(avg_ipc, m_clusters=machine.n_clusters,
+                           schemes=all_members)
+    front = pareto_frontier(points)
+    frontier_names = {p.scheme for p in front}
+    pick = None
+    if budget_transistors is not None or budget_gate_delays is not None:
+        pick = recommend(points, max_transistors=budget_transistors,
+                         max_gate_delays=budget_gate_delays)
+
+    rows = []
+    for p in sorted(points, key=lambda p: (p.ipc, p.transistors, p.scheme)):
+        rows.append((p.scheme, round(p.ipc, 3), p.transistors, p.gate_delays,
+                     "*" if p.scheme in frontier_names else ""))
+    notes = [
+        f"{len(all_members)} schemes, {len(groups)} distinct semantics, "
+        f"{len(cells)} grid cells over {len(wls)} workloads",
+        "frontier (*) = no scheme has >= IPC and <= transistors and "
+        "<= gate delays with one strict",
+    ]
+    if budget_transistors is not None or budget_gate_delays is not None:
+        budget = ", ".join(
+            f"{label} <= {value:g}" for label, value in
+            (("transistors", budget_transistors),
+             ("gate delays", budget_gate_delays)) if value is not None)
+        if pick is None:
+            notes.append(f"budget {budget}: no scheme qualifies")
+        else:
+            notes.append(
+                f"budget {budget}: best scheme {pick.scheme} "
+                f"(IPC {pick.ipc:.3f}, {pick.transistors} transistors, "
+                f"{pick.gate_delays} gate delays)")
+    meta = {
+        "threads": n_threads,
+        "workloads": wls,
+        "n_schemes": len(all_members),
+        "n_semantics": len(groups),
+        "groups": {g.canonical: list(g.members) for g in groups},
+        "avg_ipc": {labels[g.canonical]: avg_ipc[labels[g.canonical]]
+                    for g in groups},
+        "frontier": [_point_dict(p) for p in front],
+        "recommendation": (_point_dict(pick) if pick is not None else None),
+        "budget": {"transistors": budget_transistors,
+                   "gate_delays": budget_gate_delays},
+    }
+    result = ExperimentResult(
+        experiment=experiment,
+        title=(f"{n_threads}-thread merging-scheme design-space sweep "
+               f"(IPC vs hardware cost)"),
+        columns=["scheme", "avg IPC", "transistors", "gate delays",
+                 "frontier"],
+        rows=rows,
+        notes=notes,
+        meta=meta,
+    )
+    return result, grid
+
+
+def candidate_table(n_threads: int = 4, machine=None) -> ExperimentResult:
+    """The enumerated candidates with their static costs (no simulation).
+
+    ``repro-eval sweep --list`` renders this to preview a campaign's
+    size and hardware spread before committing simulation time.
+    """
+    machine = machine or paper_machine()
+    groups = enumerate_candidates(n_threads)
+    rows = []
+    for group in groups:
+        for i, name in enumerate(group.members):
+            c = scheme_cost(get_scheme(name), machine.n_clusters)
+            rows.append((name, group.canonical if i else "(canonical)",
+                         c.transistors, c.gate_delays))
+    n_schemes = sum(len(g.members) for g in groups)
+    return ExperimentResult(
+        experiment=f"{sweep_experiment_id(n_threads)}.candidates",
+        title=f"{n_threads}-thread sweep candidates",
+        columns=["scheme", "simulates as", "transistors", "gate delays"],
+        rows=rows,
+        notes=[f"{n_schemes} schemes, {len(groups)} distinct semantics; "
+               f"grid = semantics x workloads"],
+        meta={"threads": n_threads, "n_schemes": n_schemes,
+              "n_semantics": len(groups)},
+    )

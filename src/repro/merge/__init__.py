@@ -8,9 +8,11 @@ from repro.merge.registry import (
     PAPER_SCHEMES,
     SEMANTIC_EQUIV,
     canonical,
+    canonical_root,
     distinct_semantics,
     get_scheme,
     scheme_family,
+    semantic_key,
 )
 from repro.merge.scheme import Leaf, Node, ParCsmt, Scheme
 
@@ -26,8 +28,10 @@ __all__ = [
     "SEMANTIC_EQUIV",
     "Scheme",
     "canonical",
+    "canonical_root",
     "distinct_semantics",
     "get_scheme",
     "parse_scheme",
     "scheme_family",
+    "semantic_key",
 ]

@@ -20,6 +20,14 @@ Grammar (paper, Section 4.1):
   The reading that covers exactly ``n_threads`` ports is chosen; every
   paper name resolves unambiguously (``2SS`` is a tree - its cascade
   reading covers only 3 ports - while ``2SC3`` is a cascade).
+
+* ``<name>@<t>`` - explicit thread-count qualifier.  Outside the paper's
+  4-thread convention some names are ambiguous (``2SC`` is the 4-thread
+  tree by default but also a valid 3-thread cascade); the qualifier pins
+  the port count, so ``2SC@3`` always parses as the cascade
+  C(S(P0,P1),P2).  The design-space enumerator
+  (:mod:`repro.eval.sweep`) emits qualified names whenever the bare name
+  would resolve to a different port count.
 """
 
 from __future__ import annotations
@@ -100,8 +108,28 @@ def parse_scheme(name: str, n_threads: int | None = None) -> Scheme:
     Figure 8 tree, not a 3-thread cascade), then the cascade's natural
     port count - which lets wider designs like ``7SCCCCCC`` or ``2SC7``
     parse without an explicit count.  ``1S`` implies 2 ports, ``ST`` 1.
+    A ``@t`` suffix (e.g. ``2SC@3``) fixes the count in the name itself;
+    it must agree with ``n_threads`` when both are given.
     """
     name = name.strip()
+    if "@" in name:
+        base, _, tail = name.partition("@")
+        try:
+            declared = int(tail)
+        except ValueError:
+            raise ValueError(
+                f"bad thread-count qualifier in {name!r}; expected e.g. "
+                f"'2SC@3'"
+            ) from None
+        if declared < 1:
+            raise ValueError(f"{name}: thread count must be >= 1")
+        if n_threads is not None and n_threads != declared:
+            raise ValueError(
+                f"{name}: qualifier declares {declared} threads but "
+                f"{n_threads} were requested"
+            )
+        inner = parse_scheme(base, declared)
+        return Scheme(f"{base.strip().upper()}@{declared}", inner.root)
     up = name.upper()
     if up == "ST":
         return Scheme("ST", Leaf(0))

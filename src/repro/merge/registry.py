@@ -10,12 +10,19 @@ tests and docs agree on one source of truth:
 * :data:`FIG10_GROUPS` - the performance groups the paper plots together
   (members differ by <1% in the paper's runs).
 * :func:`distinct_semantics` - minimal set of schemes to simulate.
+* :func:`canonical_root` / :func:`semantic_key` - the general form of
+  the same equivalence for *arbitrary* schemes: lowering every parallel
+  CSMT block to its left-deep serial cascade yields a normal form, and
+  two schemes select identically every cycle iff their normal forms are
+  structurally equal.  :data:`SEMANTIC_EQUIV` is the restriction of this
+  rule to the paper's 16 names; the design-space enumerator
+  (:mod:`repro.eval.sweep`) applies it to the full grammar.
 """
 
 from __future__ import annotations
 
 from repro.merge.parser import parse_scheme
-from repro.merge.scheme import Scheme
+from repro.merge.scheme import Leaf, Node, Scheme
 
 __all__ = [
     "BASELINES",
@@ -23,9 +30,11 @@ __all__ = [
     "PAPER_SCHEMES",
     "SEMANTIC_EQUIV",
     "canonical",
+    "canonical_root",
     "distinct_semantics",
     "get_scheme",
     "scheme_family",
+    "semantic_key",
 ]
 
 #: The fifteen 4-thread schemes of Figure 8 (Figure 9's x-axis order).
@@ -84,6 +93,43 @@ def distinct_semantics(schemes=None) -> dict:
     for s in schemes:
         out.setdefault(canonical(s), []).append(s.upper())
     return out
+
+
+def canonical_root(node):
+    """The parc-free normal form of a scheme AST.
+
+    Every :class:`~repro.merge.scheme.ParCsmt` block is replaced by the
+    left-deep serial C cascade of its (recursively normalized) children
+    - exactly the lowering the plan compiler and :meth:`ParCsmt.eval`
+    already implement, so the normal form selects identically to the
+    original on every per-cycle input.  Binary nodes and leaves are
+    rebuilt unchanged.
+    """
+    if node.kind == "leaf":
+        return Leaf(node.port)
+    if node.kind == "node":
+        return Node(node.merge_kind, canonical_root(node.left),
+                    canonical_root(node.right))
+    acc = canonical_root(node.children[0])
+    for ch in node.children[1:]:
+        acc = Node("C", acc, canonical_root(ch))
+    return acc
+
+
+def semantic_key(scheme_or_name) -> str:
+    """Stable identity of a scheme's simulated semantics.
+
+    Two schemes with equal keys simulate identically: their parc-lowered
+    normal forms are the same AST evaluated by the same rules, *and*
+    they cycle the leading thread through the same rotation schedule
+    (wired balanced trees rotate differently from cascades, so the
+    schedule is part of the key).  Schemes with different keys are
+    treated as distinct.  Accepts a :class:`Scheme` or any name
+    :func:`get_scheme` resolves.
+    """
+    scheme = (scheme_or_name if isinstance(scheme_or_name, Scheme)
+              else get_scheme(scheme_or_name))
+    return f"{scheme.port_permutations()}:{canonical_root(scheme.root)!r}"
 
 
 def scheme_family(name: str) -> str:

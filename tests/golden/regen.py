@@ -1,0 +1,57 @@
+"""Regenerate the golden regression corpus.
+
+The corpus pins the four simulation-heavy paper artifacts (table1, fig4,
+fig6, fig10) byte-for-byte at a tiny scale, under the default machine
+and config.  `tests/test_golden.py` re-runs them with **both** engines
+and diffs against these files, so any engine/runner/scheme refactor that
+changes a single reported statistic — or even JSON formatting — fails
+tier-1 immediately.
+
+Regenerate only when an intentional change invalidates the corpus::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+then review the diff like any other code change: the new bytes are the
+new contract.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+#: the corpus scale: small enough for tier-1, large enough that every
+#: scheme/workload cell still executes real merges and cache misses.
+GOLDEN_SCALE = 0.04
+
+#: the artifacts worth pinning: everything that simulates.  fig11/fig12
+#: are deterministic joins of fig10 + the (static) cost model, and the
+#: static artifacts are already covered by exact unit tests.
+GOLDEN_EXPERIMENTS = ("table1", "fig4", "fig6", "fig10")
+
+GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def golden_path(name: str) -> str:
+    return os.path.join(GOLDEN_DIR, f"{name}.json")
+
+
+def regenerate(engine: str = "fast") -> list:
+    """Write the corpus files; returns the paths written."""
+    from repro.eval import default_config, run_experiment
+
+    config = default_config(GOLDEN_SCALE, engine=engine)
+    paths = []
+    for name in GOLDEN_EXPERIMENTS:
+        result, _grid = run_experiment(name, config)
+        path = golden_path(name)
+        with open(path, "w") as f:
+            f.write(result.to_json())
+        paths.append(path)
+    return paths
+
+
+if __name__ == "__main__":
+    for p in regenerate():
+        print(f"wrote {p}")
+    sys.exit(0)

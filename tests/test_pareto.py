@@ -1,6 +1,8 @@
 """Pareto / recommendation utilities (the Section 5.2 walk, mechanized)."""
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.eval.pareto import DesignPoint, design_points, pareto_frontier, recommend
 
@@ -71,6 +73,82 @@ class TestFrontier:
         front = pareto_frontier(points)
         costs = [p.transistors for p in front]
         assert costs == sorted(costs)
+
+
+#: arbitrary design planes; tight value ranges force frequent ties and
+#: duplicates, the edge cases dominance reasoning gets wrong.
+_POINTS = st.lists(
+    st.builds(
+        DesignPoint,
+        scheme=st.sampled_from([f"s{i}" for i in range(6)]),
+        ipc=st.floats(min_value=0.0, max_value=8.0, allow_nan=False,
+                      allow_infinity=False),
+        transistors=st.integers(min_value=0, max_value=50),
+        gate_delays=st.integers(min_value=0, max_value=10),
+    ),
+    min_size=1, max_size=32,
+)
+
+_BUDGET = st.one_of(st.none(), st.integers(min_value=0, max_value=60))
+
+
+class TestFrontierProperties:
+    @given(points=_POINTS)
+    def test_frontier_contains_no_dominated_point(self, points):
+        front = pareto_frontier(points)
+        for p in front:
+            assert not any(q.dominates(p) for q in points)
+
+    @given(points=_POINTS)
+    def test_every_off_frontier_point_is_dominated(self, points):
+        """Completeness: whatever the fast scan dropped really is
+        dominated by some frontier member."""
+        front = pareto_frontier(points)
+        for p in points:
+            if p not in front:
+                assert any(q.dominates(p) for q in front), p
+
+    @given(points=_POINTS)
+    def test_matches_naive_all_pairs_frontier(self, points):
+        naive = [p for p in points
+                 if not any(q.dominates(p) for q in points)]
+        assert sorted(pareto_frontier(points),
+                      key=lambda p: (p.transistors, -p.ipc, p.gate_delays,
+                                     p.scheme)) \
+            == sorted(naive,
+                      key=lambda p: (p.transistors, -p.ipc, p.gate_delays,
+                                     p.scheme))
+
+
+class TestRecommendProperties:
+    @given(points=_POINTS, max_t=_BUDGET, max_d=_BUDGET)
+    def test_recommendation_on_frontier_and_within_budget(
+            self, points, max_t, max_d):
+        pick = recommend(points, max_transistors=max_t,
+                         max_gate_delays=max_d)
+        if pick is None:
+            assert not [
+                p for p in points
+                if (max_t is None or p.transistors <= max_t)
+                and (max_d is None or p.gate_delays <= max_d)
+            ]
+            return
+        assert max_t is None or pick.transistors <= max_t
+        assert max_d is None or pick.gate_delays <= max_d
+        assert pick in pareto_frontier(points)
+
+    @given(points=_POINTS, max_t=_BUDGET, max_d=_BUDGET)
+    def test_recommendation_is_best_feasible_ipc(self, points, max_t, max_d):
+        pick = recommend(points, max_transistors=max_t,
+                         max_gate_delays=max_d)
+        if pick is None:
+            return
+        feasible = [
+            p for p in points
+            if (max_t is None or p.transistors <= max_t)
+            and (max_d is None or p.gate_delays <= max_d)
+        ]
+        assert pick.ipc == max(p.ipc for p in feasible)
 
 
 class TestRecommend:

@@ -202,6 +202,29 @@ class TestCli:
         err = capsys.readouterr().err
         assert "synthetic failure" in err and "Traceback" not in err
 
+    def test_subcommand_form_equivalent_to_legacy(self, tmp_path, capsys):
+        """`repro-eval run ...` and the bare legacy flag form agree."""
+        assert main(["run", "--list"]) == 0
+        sub = capsys.readouterr().out
+        assert main(["--list"]) == 0
+        assert capsys.readouterr().out == sub
+
+    def test_out_resume_conflict_rejected(self, tmp_path, capsys):
+        """Different --out and --resume directories must error, not
+        silently drop --out (the old `resume or out` behavior)."""
+        assert main(["-e", "fig9", "--out", str(tmp_path / "a"),
+                     "--resume", str(tmp_path / "b")]) == 1
+        err = capsys.readouterr().err
+        assert "conflicts" in err
+        assert not (tmp_path / "a").exists()
+        assert not (tmp_path / "b").exists()
+
+    def test_out_resume_same_directory_allowed(self, tmp_path, capsys):
+        run_dir = str(tmp_path / "run")
+        assert main(["-e", "fig9", "--out", run_dir,
+                     "--resume", run_dir]) == 0
+        assert (tmp_path / "run" / "fig9.json").exists()
+
     def test_scale_mismatch_on_resume_errors(self, tmp_path, capsys):
         run_dir = str(tmp_path / "run")
         assert main(["-e", "fig9", "--out", run_dir, "--scale", "0.05"]) == 0
