@@ -5,10 +5,10 @@ run lengths; see DESIGN.md on scaling) and print the same rows/series the
 paper reports.  Timing bodies are kept small; full-scale regeneration is
 ``python -m repro.eval.cli`` territory.
 
-Printed regenerations route through the experiment grid runner
-(:func:`repro.eval.run_experiment`), sharing its compiled-program cache
-across modules; set ``REPRO_BENCH_JOBS=N`` to fan the print-scale grids
-out over worker processes.
+Printed regenerations route through one :class:`repro.eval.Session`,
+sharing its compiled-program cache across modules; set
+``REPRO_BENCH_JOBS=N`` to fan the print-scale grids out over worker
+processes.
 """
 
 from __future__ import annotations
@@ -18,7 +18,7 @@ import os
 import pytest
 
 from repro.arch import paper_machine
-from repro.eval import run_experiment
+from repro.eval import Session
 from repro.eval.result import ExperimentResult
 from repro.sim import SimConfig
 
@@ -39,10 +39,9 @@ def machine():
 
 
 def run_print(name: str, machine, **kwargs) -> ExperimentResult:
-    """Regenerate one artifact at print scale through the grid runner."""
-    result, _grid = run_experiment(name, PRINT_CONFIG, machine,
-                                   jobs=GRID_JOBS, **kwargs)
-    return result
+    """Regenerate one artifact at print scale through a session."""
+    session = Session(machine=machine, config=PRINT_CONFIG, jobs=GRID_JOBS)
+    return session.run(name, **kwargs)
 
 
 def show(result: ExperimentResult) -> None:

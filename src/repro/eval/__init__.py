@@ -1,8 +1,17 @@
-"""Experiment harness regenerating every paper table and figure."""
+"""Experiment harness regenerating every paper table and figure.
+
+:class:`~repro.eval.api.Session` is the entry point: it binds
+machine(s), config, result store and jobs once, and runs every
+experiment and sweep through the same verbs.  The module-level
+``run_*`` functions are deprecation shims kept for compatibility.
+"""
 
 from repro.eval.experiments import (
     ALL_EXPERIMENTS,
+    EXPERIMENT_DEFS,
     SIM_EXPERIMENTS,
+    ExperimentDef,
+    cell_factory,
     default_config,
     experiment_cells,
     run_experiment,
@@ -16,10 +25,25 @@ from repro.eval.experiments import (
     run_table1,
     run_table2,
 )
+from repro.eval.api import Session
+from repro.eval.backends import (
+    DirectoryBackend,
+    SQLiteBackend,
+    StoreBackend,
+    open_backend,
+    parse_store_url,
+)
 from repro.eval.pareto import DesignPoint, design_points, pareto_frontier, recommend
 from repro.eval.result import ExperimentResult, render_table
 from repro.eval.runner import Cell, GridResult, run_cell, run_cells, shard_cells
-from repro.eval.store import RunStore, StoreMismatchError, merge_runs, run_fingerprint
+from repro.eval.store import (
+    RunStore,
+    StoreMismatchError,
+    config_fingerprint,
+    merge_runs,
+    open_store,
+    run_fingerprint,
+)
 from repro.eval.sweep import (
     CandidateGroup,
     candidate_table,
@@ -35,17 +59,28 @@ __all__ = [
     "CandidateGroup",
     "Cell",
     "DesignPoint",
+    "DirectoryBackend",
+    "EXPERIMENT_DEFS",
+    "ExperimentDef",
     "ExperimentResult",
     "GridResult",
     "RunStore",
     "SIM_EXPERIMENTS",
+    "SQLiteBackend",
+    "Session",
+    "StoreBackend",
     "StoreMismatchError",
     "candidate_table",
+    "cell_factory",
+    "config_fingerprint",
     "default_config",
     "enumerate_candidates",
     "enumerate_names",
     "experiment_cells",
     "merge_runs",
+    "open_backend",
+    "open_store",
+    "parse_store_url",
     "run_cell",
     "run_cells",
     "run_experiment",

@@ -1,0 +1,358 @@
+"""The Session API: one entry point for every experiment and sweep.
+
+A :class:`Session` binds the things every campaign needs exactly once —
+machine(s), a base :class:`~repro.sim.SimConfig`, an optional result
+store (by URL: ``dir:PATH`` / ``sqlite:PATH.db``), and a worker count —
+and then runs everything through the same verbs::
+
+    from repro.eval.api import Session
+
+    session = Session(store="sqlite:campaign.db", jobs=4)
+    fig10 = session.run("fig10")          # one artifact
+    results = session.run_all()           # every paper artifact
+    frontier = session.sweep(threads=4)   # design-space campaign
+
+Sessions replace the drifting per-experiment function signatures
+(``run_table1(config, machine, *, jobs, store)`` vs
+``run_fig5(machine, max_threads)`` …) and the fig10→fig11/fig12
+special-case plumbing: results and cell values are cached on the
+session, so an artifact that *derives* from another (fig11/fig12 join
+fig10 with the cost model) reuses the base result automatically, and
+re-running any experiment in the same session re-simulates nothing.
+
+Multi-machine / multi-scale campaigns register named variants::
+
+    session = Session(machines={"wide": wide_machine()},
+                      configs={"half": default_config(0.5)},
+                      store="dir:campaign")
+    session.run("fig4")                   # default machine
+    session.run("fig4", machine="wide")   # same store, tagged cell keys
+
+Cell identity carries the machine/config tags
+(:class:`~repro.eval.runner.Cell.key`), so one store holds the whole
+campaign without collisions, and the store fingerprint records the
+variant registries so a resumed campaign cannot silently redefine them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.arch import paper_machine
+from repro.eval import experiments
+from repro.eval.experiments import (
+    EXPERIMENT_DEFS,
+    cell_factory,
+    default_config,
+)
+from repro.eval.result import ExperimentResult
+from repro.eval.runner import GridResult
+from repro.eval.store import RunStore, config_fingerprint, open_store
+
+__all__ = ["Session"]
+
+
+class _SessionStore:
+    """The session's in-memory cell cache chained over its run store.
+
+    Grid executions record through this view: values land in session
+    memory (cross-experiment reuse without any persistence) and write
+    through to the persistent store when one is attached.
+    """
+
+    def __init__(self, session: "Session"):
+        self._session = session
+
+    @property
+    def _store(self) -> RunStore | None:
+        return self._session.store
+
+    @property
+    def path(self):
+        return self._store.path if self._store else None
+
+    def programs_dir(self):
+        return self._store.programs_dir() if self._store else None
+
+    def load_cells(self, experiment: str) -> dict:
+        cells = dict(self._store.load_cells(experiment)) if self._store else {}
+        cells.update(self._session._cells.get(experiment, {}))
+        return cells
+
+    def record_cell(self, experiment: str, key: str, value: float) -> None:
+        self._session._cells.setdefault(experiment, {})[key] = value
+        if self._store is not None:
+            self._store.record_cell(experiment, key, value)
+
+    def update_manifest(self, experiment: str, **fields) -> None:
+        if self._store is not None:
+            self._store.update_manifest(experiment, **fields)
+
+
+def _machine_registry(machines) -> dict:
+    if machines is None:
+        return {}
+    if isinstance(machines, dict):
+        registry = dict(machines)
+    else:
+        registry = {m.name: m for m in machines}
+    for tag in registry:
+        _check_tag("machine", tag)
+    return registry
+
+
+def _check_tag(kind: str, tag: str) -> None:
+    if not tag or any(sep in tag for sep in ":@%"):
+        raise ValueError(f"bad {kind} tag {tag!r}: tags are non-empty "
+                         f"and must not contain ':', '@' or '%' "
+                         f"(cell-key delimiters)")
+
+
+class Session:
+    """One experiment campaign: machines + config + store + jobs, bound once.
+
+    Args:
+        machine: the default target machine (default: the paper's).
+        machines: optional extra named machines (``{tag: Machine}`` or an
+            iterable keyed by ``Machine.name``) for multi-machine grids;
+            select one per call with ``run(..., machine=tag)``.
+        config: the base :class:`~repro.sim.SimConfig`; defaults to
+            :func:`~repro.eval.experiments.default_config` at ``scale``
+            with ``engine``.
+        configs: optional named config variants (``{tag: SimConfig}``),
+            selected per call with ``run(..., config=tag)``.
+        store: result store — a URL (``dir:PATH``, ``sqlite:PATH.db``,
+            bare path = directory), an open :class:`RunStore`, or a
+            backend instance.  URL/backend forms are opened with this
+            session's fingerprint, so resuming with a different
+            config/machine is rejected.
+        jobs: worker processes for every simulation grid.
+        scale / engine: conveniences for the default ``config``.
+
+    Results and cell values are cached per session: repeated runs and
+    derived artifacts (fig11/fig12 over fig10) re-simulate nothing.
+    ``last_grid`` reports the executed/reused counts of the most recent
+    ``run``/``sweep`` (``None`` when nothing simulated).
+    """
+
+    def __init__(self, machine=None, *, machines=None, config=None,
+                 configs=None, store=None, jobs: int = 1,
+                 scale: float = 1.0, engine: str = "fast"):
+        self.machine = machine or paper_machine()
+        self.machines = _machine_registry(machines)
+        self.config = config or default_config(scale, engine=engine)
+        self.configs = dict(configs or {})
+        for tag in self.configs:
+            _check_tag("config", tag)
+        self.jobs = jobs
+        self._cells: dict[str, dict[str, float]] = {}
+        self._results: dict[str, ExperimentResult] = {}
+        self._grids: dict[str, GridResult] = {}
+        self.last_grid: GridResult | None = None
+        self._store_view = _SessionStore(self)
+        self.store = self._open(store)
+
+    # -- wiring ----------------------------------------------------------
+    def _open(self, store) -> RunStore | None:
+        if store is None:
+            return None
+        if isinstance(store, RunStore):
+            return store
+        return open_store(store, self.fingerprint())
+
+    def fingerprint(self) -> dict:
+        """The store fingerprint of this session's campaign identity."""
+        fp = {"config": config_fingerprint(self.config),
+              "machine": self.machine.describe()}
+        if self.machines:
+            fp["machines"] = {t: m.describe()
+                              for t, m in sorted(self.machines.items())}
+        if self.configs:
+            fp["configs"] = {t: config_fingerprint(c)
+                             for t, c in sorted(self.configs.items())}
+        return fp
+
+    def machine_for(self, tag: str = ""):
+        """Resolve a machine tag ("" = the session default)."""
+        if not tag:
+            return self.machine
+        try:
+            return self.machines[tag]
+        except KeyError:
+            raise KeyError(
+                f"unknown machine tag {tag!r}; this session defines "
+                f"{sorted(self.machines) or '(none)'}") from None
+
+    def config_for(self, tag: str = ""):
+        """Resolve a config tag ("" = the session base config)."""
+        if not tag:
+            return self.config
+        try:
+            return self.configs[tag]
+        except KeyError:
+            raise KeyError(
+                f"unknown config tag {tag!r}; this session defines "
+                f"{sorted(self.configs) or '(none)'}") from None
+
+    # -- verbs -----------------------------------------------------------
+    def run(self, name: str, *, machine: str = "", config: str = "",
+            save: bool = False, **kw) -> ExperimentResult:
+        """Run one experiment; returns its :class:`ExperimentResult`.
+
+        ``machine``/``config`` select named session variants by tag
+        (default: the session's primary machine and base config) — the
+        produced cells carry the tags in their identity and the
+        artifact id gains an ``@machine`` / ``%config`` suffix, so
+        variant artifacts coexist in one store.  Extra keyword
+        arguments are forwarded to the experiment definition (e.g.
+        ``schemes=...`` for fig10, ``max_threads=...`` for fig5).
+        ``save=True`` persists the artifact to the session store.
+        """
+        if name not in EXPERIMENT_DEFS:
+            raise KeyError(f"unknown experiment {name!r}; "
+                           f"choose from {sorted(EXPERIMENT_DEFS)}")
+        defn = EXPERIMENT_DEFS[name]
+        cacheable = not kw and not machine and not config
+        if cacheable and name in self._results:
+            self.last_grid = None
+            result = self._results[name]
+        else:
+            result = self._compute(defn, machine, config, kw)
+            if machine:
+                result = dataclasses.replace(
+                    result, experiment=f"{result.experiment}@{machine}")
+            if config:
+                result = dataclasses.replace(
+                    result, experiment=f"{result.experiment}%{config}")
+            if cacheable:
+                self._results[name] = result
+        if save:
+            self._require_store().save_artifact(result)
+        return result
+
+    def _compute(self, defn, machine: str, config: str,
+                 kw: dict) -> ExperimentResult:
+        mach = self.machine_for(machine)
+        self.config_for(config)  # validate the tag on every path
+        if defn.static:
+            self.last_grid = None
+            return experiments._STATIC_RUNNERS[defn.name](mach, **kw)
+        if defn.uses:
+            self.last_grid = None
+            base = None
+            if not machine and not config and not kw:
+                base = self._results.get(defn.uses)
+            if base is None:
+                # kwargs belong to the base experiment (e.g. a fig10
+                # schemes= subset under fig11); this sets last_grid
+                # when the base actually simulates.
+                base = self.run(defn.uses, machine=machine, config=config,
+                                **kw)
+            return defn.derive(base, mach)
+        cell = cell_factory(defn.name, machine, config)
+        cells = defn.build_cells(cell, **kw)
+        grid = self.run_grid(cells)
+        self._grids[defn.name] = grid
+        return defn.assemble(grid, cell, self.config_for(config), mach, **kw)
+
+    def run_all(self, names=None) -> dict[str, ExperimentResult]:
+        """Run every experiment (or ``names``), sharing grids and base
+        results; returns ``{experiment: result}`` in execution order."""
+        ordered = sorted(EXPERIMENT_DEFS) if names is None else list(names)
+        return {name: self.run(name) for name in ordered}
+
+    def sweep(self, threads: int = 4, workloads=None, *, machine: str = "",
+              config: str = "", shard=None, budget_transistors=None,
+              budget_gate_delays=None, save: bool = False
+              ) -> ExperimentResult:
+        """Run a design-space sweep campaign through this session.
+
+        Same verbs and binding as :meth:`run`; see
+        :func:`repro.eval.sweep.run_sweep` for the campaign semantics
+        (``shard``, budgets, frontier assembly).
+        """
+        from repro.eval.sweep import run_sweep
+
+        result, grid = run_sweep(
+            threads, workloads, self.config_for(config),
+            self.machine_for(machine), jobs=self.jobs,
+            store=self._store_view, shard=shard,
+            machine_tag=machine, config_tag=config,
+            budget_transistors=budget_transistors,
+            budget_gate_delays=budget_gate_delays)
+        self._grids[grid.experiment] = grid
+        self.last_grid = grid
+        if machine:
+            result = dataclasses.replace(
+                result, experiment=f"{result.experiment}@{machine}")
+        if config:
+            result = dataclasses.replace(
+                result, experiment=f"{result.experiment}%{config}")
+        if save:
+            self._require_store().save_artifact(result)
+        return result
+
+    def run_grid(self, cells) -> GridResult:
+        """Execute a grid of cells under this session's bindings.
+
+        The grid may span machine/config tags: it is partitioned by tag
+        and each partition executes under its resolved machine/config
+        (parallel over ``jobs``, cached through the session, persisted
+        to the store when one is attached).
+        """
+        cells = list(cells)
+        if not cells:
+            return GridResult(experiment="")
+        groups: dict[tuple, list] = {}
+        for c in cells:
+            groups.setdefault((c.machine, c.config), []).append(c)
+        combined = GridResult(experiment=cells[0].experiment)
+        for (mtag, ctag), part in groups.items():
+            grid = experiments.run_cells(
+                part, self.config_for(ctag), self.machine_for(mtag),
+                jobs=self.jobs, store=self._store_view)
+            combined.values.update(grid.values)
+            combined.executed += grid.executed
+            combined.reused += grid.reused
+        self.last_grid = combined
+        if len(groups) > 1 and self.store is not None:
+            # per-partition manifest updates each recorded their own
+            # slice; overwrite with whole-grid totals.
+            self.store.update_manifest(combined.experiment,
+                                       cells=len(cells),
+                                       executed=combined.executed,
+                                       reused=combined.reused)
+        return combined
+
+    # -- cache management ------------------------------------------------
+    def seed_result(self, result: ExperimentResult) -> None:
+        """Prime the session's result cache (e.g. a precomputed fig10
+        that fig11/fig12 should derive from)."""
+        self._results[result.experiment] = result
+
+    def grid(self, name: str) -> GridResult | None:
+        """The last executed grid of one experiment, if any."""
+        return self._grids.get(name)
+
+    @property
+    def results(self) -> dict[str, ExperimentResult]:
+        """Read-only view of the session's cached results."""
+        return dict(self._results)
+
+    def _require_store(self) -> RunStore:
+        if self.store is None:
+            raise ValueError("this session has no result store; pass "
+                             "store=... when constructing the Session")
+        return self.store
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        """Release store resources (idempotent)."""
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,33 @@
+"""Pluggable result-store backends behind :class:`~repro.eval.store.RunStore`.
+
+Two implementations ship: :class:`DirectoryBackend` (the original
+run-directory format, byte-identical on disk) and :class:`SQLiteBackend`
+(one database file per campaign).  Both satisfy the
+:class:`StoreBackend` protocol, are selected by URL — ``dir:PATH`` /
+``sqlite:PATH.db``, with bare paths meaning ``dir:`` — and interoperate:
+:func:`~repro.eval.store.merge_runs` unions cells across backends, and a
+campaign started in one backend can be merged into, and resumed from,
+the other.
+"""
+
+from __future__ import annotations
+
+from repro.eval.backends.base import StoreBackend, parse_store_url
+from repro.eval.backends.directory import DirectoryBackend
+from repro.eval.backends.sqlite import SQLiteBackend
+
+__all__ = [
+    "DirectoryBackend",
+    "SQLiteBackend",
+    "StoreBackend",
+    "open_backend",
+    "parse_store_url",
+]
+
+_BACKENDS = {"dir": DirectoryBackend, "sqlite": SQLiteBackend}
+
+
+def open_backend(url: str) -> StoreBackend:
+    """Instantiate the backend a store URL names (without creating it)."""
+    scheme, path = parse_store_url(str(url))
+    return _BACKENDS[scheme](path)

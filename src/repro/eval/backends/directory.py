@@ -1,0 +1,91 @@
+"""Directory store backend: the original on-disk run-directory format.
+
+Layout (unchanged from the pre-backend ``RunStore`` — existing run
+directories keep working, and the bytes written are identical)::
+
+    run_dir/
+        manifest.json        # fingerprint + per-experiment status
+        cells/fig10.json     # cell key -> measured value
+        fig10.json           # final ExperimentResult artifact
+        programs/            # shared compiled-program disk cache
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.eval.backends.base import atomic_write_text
+
+__all__ = ["DirectoryBackend"]
+
+_MANIFEST = "manifest.json"
+
+
+class DirectoryBackend:
+    """One run directory as a :class:`~repro.eval.backends.StoreBackend`."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self.url = f"dir:{self.path}"
+
+    def ensure(self) -> None:
+        os.makedirs(self.path, exist_ok=True)
+        os.makedirs(os.path.join(self.path, "cells"), exist_ok=True)
+
+    # -- manifest --------------------------------------------------------
+    def load_manifest(self) -> dict | None:
+        try:
+            with open(os.path.join(self.path, _MANIFEST)) as f:
+                return json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def save_manifest(self, manifest: dict) -> None:
+        self.ensure()
+        atomic_write_text(os.path.join(self.path, _MANIFEST),
+                          json.dumps(manifest, indent=2))
+
+    # -- cells -----------------------------------------------------------
+    def _cells_path(self, experiment: str) -> str:
+        return os.path.join(self.path, "cells", f"{experiment}.json")
+
+    def load_cells(self, experiment: str) -> dict[str, float]:
+        try:
+            with open(self._cells_path(experiment)) as f:
+                return json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return {}
+
+    def save_cells(self, experiment: str, cells: dict[str, float]) -> None:
+        self.ensure()
+        atomic_write_text(self._cells_path(experiment),
+                          json.dumps(cells, indent=0, sort_keys=True))
+
+    def experiments_with_cells(self) -> list[str]:
+        try:
+            names = os.listdir(os.path.join(self.path, "cells"))
+        except OSError:
+            return []
+        return sorted(n[:-5] for n in names if n.endswith(".json"))
+
+    # -- artifacts -------------------------------------------------------
+    def save_artifact(self, experiment: str, text: str) -> str:
+        self.ensure()
+        path = os.path.join(self.path, f"{experiment}.json")
+        atomic_write_text(path, text)
+        return path
+
+    def load_artifact(self, experiment: str) -> str | None:
+        try:
+            with open(os.path.join(self.path, f"{experiment}.json")) as f:
+                return f.read()
+        except OSError:
+            return None
+
+    # -- misc ------------------------------------------------------------
+    def programs_dir(self) -> str | None:
+        return os.path.join(self.path, "programs")
+
+    def close(self) -> None:
+        pass

@@ -5,6 +5,7 @@ Three subcommands::
     repro-eval run --experiment fig10 --scale 0.5
     repro-eval run -e all --out results/ --jobs 4
     repro-eval run -e fig10 --resume results/    # skip done cells
+    repro-eval run -e fig10 --store sqlite:c.db  # SQLite result backend
     repro-eval run -e fig10 --engine reference   # executable spec
     repro-eval run --list
 
@@ -21,10 +22,14 @@ runs the ``run`` subcommand.
 
 ``--scale`` multiplies the run length (1.0 = 20k instructions/thread;
 the paper used 100M - see DESIGN.md section 3 on scaling).
-``--out``/``--resume`` name a *run directory* (created if missing)
-holding ``manifest.json``, per-cell values for resume, per-experiment
-JSON artifacts, and the shared on-disk compiled-program cache; giving
-both with different directories is an error.
+``--out``/``--resume``/``--store`` name a *run store* (created if
+missing) holding the manifest, per-cell values for resume and
+per-experiment JSON artifacts.  ``--store`` accepts a backend URL —
+``dir:PATH`` (a run directory, which also hosts the shared on-disk
+compiled-program cache) or ``sqlite:PATH.db`` (one database file);
+``--out``/``--resume`` take bare directory paths or the same URLs.
+Giving several of them with different locations is an error.  Every
+subcommand drives one :class:`repro.eval.api.Session` underneath.
 """
 
 from __future__ import annotations
@@ -35,19 +40,20 @@ import sys
 import time
 
 from repro.arch import paper_machine
+from repro.eval.api import Session
+from repro.eval.backends import parse_store_url
 from repro.eval.experiments import (
     ALL_EXPERIMENTS,
     default_config,
     experiment_cells,
-    run_experiment,
 )
 from repro.eval.store import (
-    RunStore,
     StoreMismatchError,
     merge_runs,
+    open_store,
     run_fingerprint,
 )
-from repro.eval.sweep import candidate_table, run_sweep
+from repro.eval.sweep import candidate_table
 from repro.sim.engine import ENGINES
 
 
@@ -79,33 +85,53 @@ def _add_sim_args(ap: argparse.ArgumentParser) -> None:
     ap.add_argument("--jobs", "-j", type=int, default=1,
                     help="worker processes for simulation grids (default 1)")
     ap.add_argument("--out", default=None,
-                    help="run directory for JSON artifacts + cell values "
-                         "(created if missing)")
+                    help="run store (directory path or URL) for JSON "
+                         "artifacts + cell values (created if missing)")
     ap.add_argument("--resume", default=None, metavar="RUN_DIR",
-                    help="resume a previous run directory: completed "
+                    help="resume a previous run store: completed "
                          "cells are skipped (implies --out RUN_DIR)")
+    ap.add_argument("--store", default=None, metavar="URL",
+                    help="run store by backend URL: dir:PATH (run "
+                         "directory; the default for bare paths) or "
+                         "sqlite:PATH.db (one database file); behaves "
+                         "like --out + --resume combined")
 
 
-def _resolve_run_dir(args) -> str | None:
-    """The run directory implied by --out/--resume, rejecting conflicts."""
-    if args.out and args.resume and \
-            os.path.normpath(args.out) != os.path.normpath(args.resume):
-        raise _CliError(
-            f"--out {args.out!r} conflicts with --resume {args.resume!r}: "
-            f"they name different run directories; pass one of them (or "
-            f"the same directory for both)"
-        )
-    return args.resume or args.out
+def _resolve_store_url(args) -> str | None:
+    """The run store implied by --out/--resume/--store, rejecting
+    flags that name different locations."""
+    given = [(flag, value) for flag, value in
+             (("--store", args.store), ("--out", args.out),
+              ("--resume", args.resume)) if value]
+    if not given:
+        return None
+
+    def norm(url):
+        scheme, path = parse_store_url(url)
+        return scheme, os.path.normpath(path)
+
+    first_flag, first = given[0]
+    for flag, value in given[1:]:
+        if norm(value) != norm(first):
+            raise _CliError(
+                f"{first_flag} {first!r} conflicts with {flag} {value!r}: "
+                f"they name different run stores; pass one of them (or "
+                f"the same location for both)"
+            )
+    return first
 
 
-def _open_store(args, config, machine) -> RunStore | None:
-    run_dir = _resolve_run_dir(args)
-    if not run_dir:
+def _open_store(args, config, machine):
+    try:
+        url = _resolve_store_url(args)  # may parse URLs for comparison
+    except ValueError as exc:
+        raise _CliError(str(exc)) from None
+    if not url:
         return None
     try:
-        return RunStore.open_or_create(
-            run_dir, run_fingerprint(config, machine))
-    except StoreMismatchError as exc:
+        return open_store(url, run_fingerprint(config, machine))
+    except (StoreMismatchError, ValueError) as exc:
+        # ValueError: malformed store URL (unknown scheme, empty path)
         raise _CliError(str(exc)) from None
 
 
@@ -149,23 +175,22 @@ def _cmd_run(argv) -> int:
     config = default_config(args.scale, engine=args.engine)
     machine = paper_machine()
     store = _open_store(args, config, machine)
+    session = Session(machine=machine, config=config, store=store,
+                      jobs=args.jobs)
 
-    # fig11/fig12 reuse fig10's simulations: compute fig10 once.
-    fig10_shared = None
+    # the session caches fig10's result, so fig11/fig12 (and `-e all`)
+    # reuse its simulations automatically.
     failures = 0
     for name in names:
         t0 = time.time()
         try:
-            result, grid = run_experiment(
-                name, config, machine, jobs=args.jobs, store=store,
-                fig10=fig10_shared if name in ("fig11", "fig12") else None)
+            result = session.run(name)
         except Exception as exc:  # noqa: BLE001 - CLI boundary
             print(f"error: experiment {name} failed: "
                   f"{type(exc).__name__}: {exc}", file=sys.stderr)
             failures += 1
             continue
-        if name == "fig10":
-            fig10_shared = result
+        grid = session.last_grid
         print(result.render())
         status = f"  [{time.time() - t0:.1f}s]"
         if grid is not None:
@@ -229,21 +254,24 @@ def _cmd_sweep(argv) -> int:
     store = _open_store(args, config, machine)
     if shard is not None and store is None:
         raise _CliError(
-            "--shard requires a run directory (--out/--resume): a "
-            "shard's cell values are its only output and exist to be "
-            "merged later; without a store they would be discarded"
+            "--shard requires a run directory or store "
+            "(--out/--resume/--store): a shard's cell values are its "
+            "only output and exist to be merged later; without a store "
+            "they would be discarded"
         )
+    session = Session(machine=machine, config=config, store=store,
+                      jobs=args.jobs)
 
     t0 = time.time()
     try:
-        result, grid = run_sweep(
-            args.threads, workloads, config, machine, jobs=args.jobs,
-            store=store, shard=shard,
+        result = session.sweep(
+            args.threads, workloads, shard=shard,
             budget_transistors=args.budget_transistors,
             budget_gate_delays=args.budget_gate_delays)
     except (KeyError, ValueError) as exc:
         # e.g. unknown/duplicate --workloads, validated by run_sweep
         raise _CliError(exc.args[0] if exc.args else str(exc)) from None
+    grid = session.last_grid
     print(result.render())
     print(f"  [{time.time() - t0:.1f}s]  cells: {grid.executed} simulated, "
           f"{grid.reused} reused")
@@ -260,12 +288,13 @@ def _cmd_sweep(argv) -> int:
 def _cmd_merge(argv) -> int:
     ap = argparse.ArgumentParser(
         prog="repro-eval merge",
-        description="Merge the recorded cells of several run directories "
-                    "(e.g. sweep shards) into one",
+        description="Merge the recorded cells of several run stores "
+                    "(e.g. sweep shards) into one; paths or store URLs "
+                    "(dir:PATH / sqlite:PATH.db), backends may be mixed",
     )
-    ap.add_argument("dest", help="destination run directory "
+    ap.add_argument("dest", help="destination run store "
                                  "(created if missing)")
-    ap.add_argument("sources", nargs="+", help="source run directories")
+    ap.add_argument("sources", nargs="+", help="source run stores")
     args = ap.parse_args(argv)
     try:
         dest = merge_runs(args.dest, args.sources)
@@ -273,7 +302,7 @@ def _cmd_merge(argv) -> int:
         raise _CliError(str(exc)) from None
     for experiment in dest.experiments_with_cells():
         print(f"{experiment}: {len(dest.load_cells(experiment))} cells")
-    print(f"merged {len(args.sources)} run directories into {dest.path}")
+    print(f"merged {len(args.sources)} run stores into {dest.url}")
     return 0
 
 

@@ -1,26 +1,33 @@
-"""Experiment runners: one function per paper table/figure.
+"""Experiment definitions: one (cells, assembly) pair per paper artifact.
 
-Each runner regenerates the corresponding artifact's rows/series (same
-workloads, same scheme sets, same derived percentages as the paper) on
-the scaled-down simulator.  DESIGN.md section 7 is the index; the
-benchmarks/ directory wraps each runner for ``pytest-benchmark``.
+Each paper table/figure is an :class:`ExperimentDef`: a *grid builder*
+producing the independent :class:`~repro.eval.runner.Cell` simulations
+it needs, plus a *pure assembly* function turning measured cell values
+into the artifact's rows/series (same workloads, same scheme sets, same
+derived percentages as the paper).  DESIGN.md section 7 is the index;
+the ``benchmarks/`` directory wraps each artifact for
+``pytest-benchmark``.
 
-Simulation-heavy experiments (table1, fig4, fig6, fig10 — and fig11 /
-fig12 through their shared fig10 input) are decomposed into grids of
-independent :class:`~repro.eval.runner.Cell` simulations and executed
-through :func:`~repro.eval.runner.run_cells`, which provides parallel
-fan-out (``jobs``), compile-once program caching, and resume from a
-:class:`~repro.eval.store.RunStore` (``store``).  Assembly from cell
-values is deterministic, so ``jobs=N`` output is identical to serial.
+Execution lives elsewhere: :class:`repro.eval.api.Session` is the one
+entry point that binds machine(s), :class:`~repro.sim.SimConfig`, a
+result store and ``jobs`` once and runs any experiment (or all of them,
+or a :mod:`~repro.eval.sweep` campaign) through the same verbs.
+Derived artifacts (fig11/fig12 join fig10 with the static cost model)
+declare their dependency via :attr:`ExperimentDef.uses`, and the
+session's result cache makes the reuse automatic — no special-cased
+plumbing between experiments.
 
-Beyond the paper's fixed artifacts, :mod:`repro.eval.sweep` drives the
-same grid machinery over the *enumerated* scheme design space
-(``repro-eval sweep``); the golden corpus under ``tests/golden/`` pins
-the four simulation-heavy artifacts here byte-for-byte at reduced scale
-under both engines.
+The historical module-level runners (:func:`run_experiment`,
+:func:`run_table1`, …) remain as thin deprecation shims over a default
+session: byte-for-byte identical artifacts (the golden corpus pins
+this), one :class:`DeprecationWarning` per entry point per process.
 """
 
 from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.arch import paper_machine
 from repro.cost import csmt_parallel, csmt_serial, scheme_cost, smt_serial
@@ -32,8 +39,16 @@ from repro.sim import SimConfig
 from repro.workloads import TABLE2, WORKLOAD_ORDER
 
 __all__ = [
+    "ALL_EXPERIMENTS",
+    "EXPERIMENT_DEFS",
+    "ExperimentDef",
+    "SIM_EXPERIMENTS",
+    "cell_factory",
     "default_config",
     "experiment_cells",
+    # re-exported as the session's grid executor: repro.eval.api calls
+    # ``experiments.run_cells`` so tests can stub grid execution here.
+    "run_cells",
     "run_experiment",
     "run_table1",
     "run_table2",
@@ -44,8 +59,6 @@ __all__ = [
     "run_fig10",
     "run_fig11",
     "run_fig12",
-    "ALL_EXPERIMENTS",
-    "SIM_EXPERIMENTS",
 ]
 
 
@@ -60,24 +73,61 @@ def default_config(scale: float = 1.0, engine: str = "fast") -> SimConfig:
                      warmup_instrs=2_000, engine=engine).scaled(scale)
 
 
+def cell_factory(experiment: str, machine_tag: str = "",
+                 config_tag: str = "") -> Callable[..., Cell]:
+    """A :class:`Cell` constructor with experiment + identity tags baked in.
+
+    Grid builders and assemblers receive one of these instead of raw
+    ``Cell(...)`` calls, so the same definition runs unchanged on the
+    default machine ("" tags, historical cell keys) or on any tagged
+    machine/config variant of a multi-machine session.
+    """
+    def cell(kind: str, target: str, scheme: str,
+             variant: str = "base") -> Cell:
+        return Cell(experiment, kind, target, scheme, variant,
+                    machine=machine_tag, config=config_tag)
+    return cell
+
+
+@dataclass(frozen=True)
+class ExperimentDef:
+    """One paper artifact: grid decomposition + pure assembly.
+
+    Exactly one of three shapes:
+
+    * **grid** — ``build_cells(cell, **kw)`` returns the simulation
+      cells and ``assemble(grid, cell, config, machine, **kw)`` joins
+      the measured values into the artifact (``cell`` is a
+      :func:`cell_factory` closure carrying the experiment id and any
+      machine/config tags);
+    * **derived** — ``uses`` names another experiment whose *result*
+      this artifact joins with static data via ``derive(base, machine)``
+      (fig11/fig12 over fig10);
+    * **static** — no simulation; the runner is looked up in
+      ``_STATIC_RUNNERS`` at call time.
+    """
+
+    name: str
+    build_cells: Callable | None = None
+    assemble: Callable | None = None
+    uses: str | None = None
+    derive: Callable | None = None
+    static: bool = False
+
+
 # ----------------------------------------------------------------------
 # Table 1 - benchmark characterization
 # ----------------------------------------------------------------------
-def _cells_table1() -> list[Cell]:
-    return [Cell("table1", "bench", spec.name, "ST", variant)
+def _cells_table1(cell) -> list[Cell]:
+    return [cell("bench", spec.name, "ST", variant)
             for spec in SUITE for variant in ("base", "perfect")]
 
 
-def run_table1(config: SimConfig | None = None, machine=None, *,
-               jobs: int = 1, store=None) -> ExperimentResult:
-    """IPCr (real caches) and IPCp (perfect) per benchmark, single thread."""
-    machine = machine or paper_machine()
-    config = config or default_config()
-    grid = run_cells(_cells_table1(), config, machine, jobs=jobs, store=store)
+def _assemble_table1(grid, cell, config, machine) -> ExperimentResult:
     rows = []
     for spec in SUITE:
-        ipcr = grid[Cell("table1", "bench", spec.name, "ST", "base")]
-        ipcp = grid[Cell("table1", "bench", spec.name, "ST", "perfect")]
+        ipcr = grid[cell("bench", spec.name, "ST", "base")]
+        ipcp = grid[cell("bench", spec.name, "ST", "perfect")]
         rows.append((spec.name, spec.ilp_class, round(ipcr, 2), round(ipcp, 2),
                      spec.paper_ipcr, spec.paper_ipcp))
     return ExperimentResult(
@@ -89,8 +139,7 @@ def run_table1(config: SimConfig | None = None, machine=None, *,
     )
 
 
-def run_table2() -> ExperimentResult:
-    """The workload configurations (static)."""
+def _static_table2(machine=None) -> ExperimentResult:
     rows = [(name, *TABLE2[name]) for name in WORKLOAD_ORDER]
     return ExperimentResult(
         experiment="table2",
@@ -107,23 +156,18 @@ _FIG4_SCHEMES = [("Single-thread", "ST"), ("2-Thread", "1S"),
                  ("4-Thread", "3SSS")]
 
 
-def _cells_fig4() -> list[Cell]:
-    return [Cell("fig4", "workload", wl, scheme)
+def _cells_fig4(cell) -> list[Cell]:
+    return [cell("workload", wl, scheme)
             for wl in WORKLOAD_ORDER for _label, scheme in _FIG4_SCHEMES]
 
 
-def run_fig4(config: SimConfig | None = None, machine=None, *,
-             jobs: int = 1, store=None) -> ExperimentResult:
-    """Average SMT IPC on 1-, 2- and 4-thread processors."""
-    machine = machine or paper_machine()
-    config = config or default_config()
-    grid = run_cells(_cells_fig4(), config, machine, jobs=jobs, store=store)
+def _assemble_fig4(grid, cell, config, machine) -> ExperimentResult:
     sums = {label: 0.0 for label, _s in _FIG4_SCHEMES}
     per_wl = []
     for wl in WORKLOAD_ORDER:
         row = [wl]
         for label, scheme in _FIG4_SCHEMES:
-            ipc = grid[Cell("fig4", "workload", wl, scheme)]
+            ipc = grid[cell("workload", wl, scheme)]
             sums[label] += ipc
             row.append(round(ipc, 2))
         per_wl.append(tuple(row))
@@ -148,8 +192,7 @@ def run_fig4(config: SimConfig | None = None, machine=None, *,
 # ----------------------------------------------------------------------
 # Figure 5 - merge control cost vs thread count
 # ----------------------------------------------------------------------
-def run_fig5(machine=None, max_threads: int = 8) -> ExperimentResult:
-    """Transistors (5a) and gate delays (5b) for SMT / CSMT SL / CSMT PL."""
+def _static_fig5(machine=None, max_threads: int = 8) -> ExperimentResult:
     machine = machine or paper_machine()
     m = machine.n_clusters
     rows = []
@@ -176,22 +219,17 @@ def run_fig5(machine=None, max_threads: int = 8) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 6 - SMT advantage over CSMT (4 threads)
 # ----------------------------------------------------------------------
-def _cells_fig6() -> list[Cell]:
-    return [Cell("fig6", "workload", wl, scheme)
+def _cells_fig6(cell) -> list[Cell]:
+    return [cell("workload", wl, scheme)
             for wl in WORKLOAD_ORDER for scheme in ("3SSS", "3CCC")]
 
 
-def run_fig6(config: SimConfig | None = None, machine=None, *,
-             jobs: int = 1, store=None) -> ExperimentResult:
-    """Per-workload % IPC advantage of 4-thread SMT over 4-thread CSMT."""
-    machine = machine or paper_machine()
-    config = config or default_config()
-    grid = run_cells(_cells_fig6(), config, machine, jobs=jobs, store=store)
+def _assemble_fig6(grid, cell, config, machine) -> ExperimentResult:
     rows = []
     total = 0.0
     for wl in WORKLOAD_ORDER:
-        smt = grid[Cell("fig6", "workload", wl, "3SSS")]
-        csmt = grid[Cell("fig6", "workload", wl, "3CCC")]
+        smt = grid[cell("workload", wl, "3SSS")]
+        csmt = grid[cell("workload", wl, "3CCC")]
         diff = (smt / csmt - 1) * 100 if csmt else 0.0
         total += diff
         rows.append((wl, round(smt, 2), round(csmt, 2), round(diff, 1)))
@@ -209,9 +247,7 @@ def run_fig6(config: SimConfig | None = None, machine=None, *,
 # ----------------------------------------------------------------------
 # Figure 9 - merging hardware cost per scheme
 # ----------------------------------------------------------------------
-def run_fig9(machine=None) -> ExperimentResult:
-    """Transistors + gate delays for all 16 schemes of Figure 9
-    (the fifteen 4-thread schemes plus the 1S reference)."""
+def _static_fig9(machine=None) -> ExperimentResult:
     machine = machine or paper_machine()
     rows = []
     fig9_order = PAPER_SCHEMES[:3] + ["1S"] + PAPER_SCHEMES[3:]
@@ -236,30 +272,23 @@ def run_fig9(machine=None) -> ExperimentResult:
 # ----------------------------------------------------------------------
 # Figure 10 - per-workload performance of every scheme
 # ----------------------------------------------------------------------
-def _cells_fig10(schemes=None) -> list[Cell]:
-    groups = distinct_semantics(schemes or (["1S"] + PAPER_SCHEMES))
-    return [Cell("fig10", "workload", wl, canon)
-            for wl in WORKLOAD_ORDER for canon in groups]
+def _fig10_groups(schemes=None) -> dict:
+    return distinct_semantics(schemes or (["1S"] + PAPER_SCHEMES))
 
 
-def run_fig10(config: SimConfig | None = None, machine=None,
-              schemes=None, *, jobs: int = 1, store=None) -> ExperimentResult:
-    """IPC of every scheme on every Table 2 workload.
+def _cells_fig10(cell, schemes=None) -> list[Cell]:
+    return [cell("workload", wl, canon)
+            for wl in WORKLOAD_ORDER for canon in _fig10_groups(schemes)]
 
-    Parallel-CSMT schemes are simulated via their serial-cascade
-    equivalents (functionally identical selection); the result reports
-    each distinct semantics once, labelled with all covered names.
-    """
-    machine = machine or paper_machine()
-    config = config or default_config()
-    groups = distinct_semantics(schemes or (["1S"] + PAPER_SCHEMES))
+
+def _assemble_fig10(grid, cell, config, machine,
+                    schemes=None) -> ExperimentResult:
+    groups = _fig10_groups(schemes)
     labels = {canon: ",".join(names) for canon, names in groups.items()}
-    grid = run_cells(_cells_fig10(schemes), config, machine,
-                     jobs=jobs, store=store)
     ipc: dict[str, dict[str, float]] = {c: {} for c in groups}
     for wl in WORKLOAD_ORDER:
         for canon in groups:
-            ipc[canon][wl] = grid[Cell("fig10", "workload", wl, canon)]
+            ipc[canon][wl] = grid[cell("workload", wl, canon)]
     order = sorted(groups, key=lambda c: sum(ipc[c].values()))
     columns = ["scheme(s)"] + list(WORKLOAD_ORDER) + ["Average"]
     rows = []
@@ -315,37 +344,36 @@ def _scatter(experiment: str, title: str, cost_field: str,
     )
 
 
-def run_fig11(config: SimConfig | None = None, machine=None,
-              fig10: ExperimentResult | None = None, *,
-              jobs: int = 1, store=None) -> ExperimentResult:
-    """Average IPC vs transistors for every scheme."""
-    machine = machine or paper_machine()
-    fig10 = fig10 or run_fig10(config, machine, jobs=jobs, store=store)
+def _derive_fig11(fig10: ExperimentResult, machine) -> ExperimentResult:
     return _scatter("fig11", "Performance vs transistors incurred",
                     "transistors", fig10, machine)
 
 
-def run_fig12(config: SimConfig | None = None, machine=None,
-              fig10: ExperimentResult | None = None, *,
-              jobs: int = 1, store=None) -> ExperimentResult:
-    """Average IPC vs gate delays for every scheme."""
-    machine = machine or paper_machine()
-    fig10 = fig10 or run_fig10(config, machine, jobs=jobs, store=store)
+def _derive_fig12(fig10: ExperimentResult, machine) -> ExperimentResult:
     return _scatter("fig12", "Performance vs gate delays",
                     "gate_delays", fig10, machine)
 
 
-#: experiment id -> runner (runners without sim args take none).
-ALL_EXPERIMENTS = {
-    "table1": run_table1,
-    "table2": run_table2,
-    "fig4": run_fig4,
-    "fig5": run_fig5,
-    "fig6": run_fig6,
-    "fig9": run_fig9,
-    "fig10": run_fig10,
-    "fig11": run_fig11,
-    "fig12": run_fig12,
+# ----------------------------------------------------------------------
+# The experiment registry
+# ----------------------------------------------------------------------
+#: experiment id -> definition; :class:`repro.eval.api.Session` executes
+#: these (the sole dispatch table — the CLI and the deprecation shims
+#: below both route through a session).
+EXPERIMENT_DEFS: dict[str, ExperimentDef] = {
+    "table1": ExperimentDef("table1", build_cells=_cells_table1,
+                            assemble=_assemble_table1),
+    "table2": ExperimentDef("table2", static=True),
+    "fig4": ExperimentDef("fig4", build_cells=_cells_fig4,
+                          assemble=_assemble_fig4),
+    "fig5": ExperimentDef("fig5", static=True),
+    "fig6": ExperimentDef("fig6", build_cells=_cells_fig6,
+                          assemble=_assemble_fig6),
+    "fig9": ExperimentDef("fig9", static=True),
+    "fig10": ExperimentDef("fig10", build_cells=_cells_fig10,
+                           assemble=_assemble_fig10),
+    "fig11": ExperimentDef("fig11", uses="fig10", derive=_derive_fig11),
+    "fig12": ExperimentDef("fig12", uses="fig10", derive=_derive_fig12),
 }
 
 #: experiments that simulate (and therefore accept config/jobs/store).
@@ -353,28 +381,148 @@ SIM_EXPERIMENTS = frozenset(
     {"table1", "fig4", "fig6", "fig10", "fig11", "fig12"})
 
 #: static experiments, normalized to one ``machine -> result`` signature.
+#: Looked up at *call* time (sessions included) so tests can stub them.
 _STATIC_RUNNERS = {
-    "table2": lambda machine: run_table2(),
-    "fig5": run_fig5,
-    "fig9": run_fig9,
-}
-
-#: experiment id -> grid decomposition (None for static experiments;
-#: fig11/fig12 ride on fig10's grid).
-_CELL_BUILDERS = {
-    "table1": _cells_table1,
-    "fig4": _cells_fig4,
-    "fig6": _cells_fig6,
-    "fig10": _cells_fig10,
-    "fig11": _cells_fig10,
-    "fig12": _cells_fig10,
+    "table2": _static_table2,
+    "fig5": _static_fig5,
+    "fig9": _static_fig9,
 }
 
 
 def experiment_cells(name: str) -> list[Cell] | None:
     """The simulation grid of an experiment (None if it has none)."""
-    builder = _CELL_BUILDERS.get(name)
-    return builder() if builder else None
+    defn = EXPERIMENT_DEFS.get(name)
+    if defn is None:
+        return None
+    if defn.uses:
+        defn = EXPERIMENT_DEFS[defn.uses]
+    if defn.build_cells is None:
+        return None
+    return defn.build_cells(cell_factory(defn.name))
+
+
+# ----------------------------------------------------------------------
+# Deprecated module-level runners (shims over a default Session)
+# ----------------------------------------------------------------------
+#: entry points that already warned this process (warn-once hygiene).
+_WARNED: set[str] = set()
+
+
+def _warn_once(name: str, hint: str) -> None:
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
+    warnings.warn(
+        f"repro.eval.{name}() is deprecated; use the Session API: {hint}",
+        DeprecationWarning, stacklevel=3)
+
+
+def _session(config, machine, *, jobs: int = 1, store=None):
+    from repro.eval.api import Session
+    return Session(machine=machine, config=config, store=store, jobs=jobs)
+
+
+def run_table1(config: SimConfig | None = None, machine=None, *,
+               jobs: int = 1, store=None) -> ExperimentResult:
+    """IPCr (real caches) and IPCp (perfect) per benchmark, single thread.
+
+    .. deprecated:: use ``Session(...).run("table1")``.
+    """
+    _warn_once("run_table1", 'Session(...).run("table1")')
+    return _session(config, machine, jobs=jobs, store=store).run("table1")
+
+
+def run_table2() -> ExperimentResult:
+    """The workload configurations (static).
+
+    .. deprecated:: use ``Session(...).run("table2")``.
+    """
+    _warn_once("run_table2", 'Session(...).run("table2")')
+    return _session(None, None).run("table2")
+
+
+def run_fig4(config: SimConfig | None = None, machine=None, *,
+             jobs: int = 1, store=None) -> ExperimentResult:
+    """Average SMT IPC on 1-, 2- and 4-thread processors.
+
+    .. deprecated:: use ``Session(...).run("fig4")``.
+    """
+    _warn_once("run_fig4", 'Session(...).run("fig4")')
+    return _session(config, machine, jobs=jobs, store=store).run("fig4")
+
+
+def run_fig5(machine=None, max_threads: int = 8) -> ExperimentResult:
+    """Transistors (5a) and gate delays (5b) for SMT / CSMT SL / CSMT PL.
+
+    .. deprecated:: use ``Session(...).run("fig5")``.
+    """
+    _warn_once("run_fig5", 'Session(...).run("fig5")')
+    return _session(None, machine).run("fig5", max_threads=max_threads)
+
+
+def run_fig6(config: SimConfig | None = None, machine=None, *,
+             jobs: int = 1, store=None) -> ExperimentResult:
+    """Per-workload % IPC advantage of 4-thread SMT over 4-thread CSMT.
+
+    .. deprecated:: use ``Session(...).run("fig6")``.
+    """
+    _warn_once("run_fig6", 'Session(...).run("fig6")')
+    return _session(config, machine, jobs=jobs, store=store).run("fig6")
+
+
+def run_fig9(machine=None) -> ExperimentResult:
+    """Transistors + gate delays for all 16 schemes of Figure 9
+    (the fifteen 4-thread schemes plus the 1S reference).
+
+    .. deprecated:: use ``Session(...).run("fig9")``.
+    """
+    _warn_once("run_fig9", 'Session(...).run("fig9")')
+    return _session(None, machine).run("fig9")
+
+
+def run_fig10(config: SimConfig | None = None, machine=None,
+              schemes=None, *, jobs: int = 1, store=None) -> ExperimentResult:
+    """IPC of every scheme on every Table 2 workload.
+
+    Parallel-CSMT schemes are simulated via their serial-cascade
+    equivalents (functionally identical selection); the result reports
+    each distinct semantics once, labelled with all covered names.
+
+    .. deprecated:: use ``Session(...).run("fig10")``.
+    """
+    _warn_once("run_fig10", 'Session(...).run("fig10")')
+    session = _session(config, machine, jobs=jobs, store=store)
+    if schemes is None:
+        return session.run("fig10")
+    return session.run("fig10", schemes=schemes)
+
+
+def run_fig11(config: SimConfig | None = None, machine=None,
+              fig10: ExperimentResult | None = None, *,
+              jobs: int = 1, store=None) -> ExperimentResult:
+    """Average IPC vs transistors for every scheme.
+
+    .. deprecated:: use ``Session(...).run("fig11")``.
+    """
+    _warn_once("run_fig11", 'Session(...).run("fig11")')
+    session = _session(config, machine, jobs=jobs, store=store)
+    if fig10 is not None:
+        session.seed_result(fig10)
+    return session.run("fig11")
+
+
+def run_fig12(config: SimConfig | None = None, machine=None,
+              fig10: ExperimentResult | None = None, *,
+              jobs: int = 1, store=None) -> ExperimentResult:
+    """Average IPC vs gate delays for every scheme.
+
+    .. deprecated:: use ``Session(...).run("fig12")``.
+    """
+    _warn_once("run_fig12", 'Session(...).run("fig12")')
+    session = _session(config, machine, jobs=jobs, store=store)
+    if fig10 is not None:
+        session.seed_result(fig10)
+    return session.run("fig12")
 
 
 def run_experiment(name: str, config: SimConfig | None = None, machine=None,
@@ -386,44 +534,28 @@ def run_experiment(name: str, config: SimConfig | None = None, machine=None,
     Returns ``(result, grid)`` where ``grid`` reports executed/reused
     cell counts (``None`` for static experiments, and for fig11/fig12
     when a precomputed ``fig10`` result is supplied).
+
+    .. deprecated:: use ``Session(...).run(name)`` (the grid is on
+       ``session.last_grid``).
     """
-    if name not in ALL_EXPERIMENTS:
-        raise KeyError(f"unknown experiment {name!r}; "
-                       f"choose from {sorted(ALL_EXPERIMENTS)}")
-    machine = machine or paper_machine()
-    grid: GridResult | None = None
-    if name in ("fig11", "fig12"):
-        if fig10 is None:
-            fig10, grid = run_experiment("fig10", config, machine,
-                                         jobs=jobs, store=store)
-        runner = run_fig11 if name == "fig11" else run_fig12
-        return runner(config, machine, fig10=fig10), grid
-    if name not in SIM_EXPERIMENTS:
-        return _STATIC_RUNNERS[name](machine), None
-    config = config or default_config()
-    cells = experiment_cells(name)
-    grid = run_cells(cells, config, machine, jobs=jobs, store=store)
-    # assemble from the already-populated grid (never the real store:
-    # the assembly pass must not clobber its executed/reused record).
-    result = ALL_EXPERIMENTS[name](config, machine, jobs=1,
-                                   store=_PrefilledStore(name, grid.values))
-    return result, grid
+    _warn_once("run_experiment", 'Session(...).run(name)')
+    session = _session(config, machine, jobs=jobs, store=store)
+    if fig10 is not None and name in ("fig11", "fig12"):
+        session.seed_result(fig10)
+    result = session.run(name)
+    return result, session.last_grid
 
 
-class _PrefilledStore:
-    """Minimal store view handing an assembled grid back to a runner."""
-
-    def __init__(self, experiment: str, values: dict):
-        self._experiment = experiment
-        self._values = values
-
-    def load_cells(self, experiment: str) -> dict:
-        return self._values if experiment == self._experiment else {}
-
-    def record_cell(self, experiment: str, key: str, value: float) -> None:
-        self._values[key] = value
-
-    def update_manifest(self, experiment: str, **fields) -> None:
-        pass
-
-    path = "."
+#: experiment id -> runner (kept for discovery + docstrings; every entry
+#: is a deprecation shim over the Session API).
+ALL_EXPERIMENTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+}

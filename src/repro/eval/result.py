@@ -9,7 +9,10 @@ EXPERIMENTS.md and regression tests.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
+
+from repro.eval.backends.base import atomic_write_text
 
 __all__ = ["ExperimentResult", "render_table"]
 
@@ -66,12 +69,11 @@ class ExperimentResult:
         )
 
     def save(self, directory) -> str:
-        import os
-
+        """Write the artifact JSON into ``directory`` (atomically: a
+        crash mid-write never leaves a truncated artifact)."""
         os.makedirs(directory, exist_ok=True)
         path = os.path.join(directory, f"{self.experiment}.json")
-        with open(path, "w") as f:
-            f.write(self.to_json())
+        atomic_write_text(path, self.to_json())
         return path
 
     def row_map(self, key_col: int = 0) -> dict:

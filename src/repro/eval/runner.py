@@ -26,6 +26,7 @@ fingerprint therefore ignores the engine field).
 
 from __future__ import annotations
 
+import difflib
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field, replace
@@ -57,6 +58,19 @@ class Cell:
         target: workload or benchmark name.
         scheme: merging scheme to simulate under.
         variant: config variant — ``"base"`` or ``"perfect"`` (caches).
+        machine: machine-preset fingerprint tag; ``""`` is the campaign
+            default machine.  Non-default tags name an entry in the
+            owning :class:`~repro.eval.api.Session`'s machine registry,
+            so one grid (and one run store) may span several machines.
+        config: config-variant fingerprint tag; ``""`` is the campaign
+            base :class:`~repro.sim.SimConfig`.  Non-default tags name a
+            session config variant (e.g. an alternative scale).
+
+    The tags are part of the cell's identity (:attr:`key`), which keeps
+    multi-machine / multi-scale campaigns collision-free inside one
+    store; for the default machine and base config the key is unchanged
+    from the single-machine format, so existing run directories resume
+    as before.
     """
 
     experiment: str
@@ -64,17 +78,30 @@ class Cell:
     target: str
     scheme: str
     variant: str = "base"
+    machine: str = ""
+    config: str = ""
 
     def __post_init__(self):
         if self.kind not in ("workload", "bench"):
             raise ValueError(f"unknown cell kind {self.kind!r}")
         if self.variant not in _VARIANTS:
             raise ValueError(f"unknown cell variant {self.variant!r}")
+        for tag in (self.machine, self.config):
+            if any(sep in tag for sep in ":@%"):
+                raise ValueError(
+                    f"cell tag {tag!r} must not contain ':', '@' or '%' "
+                    f"(they delimit cell keys, so two different tag "
+                    f"pairs could collide on one key)")
 
     @property
     def key(self) -> str:
         """Stable identity used for result assembly and resume."""
-        return f"{self.kind}:{self.target}:{self.scheme}:{self.variant}"
+        key = f"{self.kind}:{self.target}:{self.scheme}:{self.variant}"
+        if self.machine:
+            key += f"@{self.machine}"
+        if self.config:
+            key += f"%{self.config}"
+        return key
 
 
 @dataclass
@@ -88,7 +115,15 @@ class GridResult:
 
     def __getitem__(self, cell_or_key) -> float:
         key = getattr(cell_or_key, "key", cell_or_key)
-        return self.values[key]
+        try:
+            return self.values[key]
+        except KeyError:
+            near = difflib.get_close_matches(key, self.values, n=3)
+            hint = f"; nearest recorded keys: {near}" if near else ""
+            raise KeyError(
+                f"no cell {key!r} in the {self.experiment!r} grid "
+                f"({len(self.values)} cells recorded{hint})"
+            ) from None
 
 
 def shard_cells(cells, index: int, count: int) -> list:
@@ -182,6 +217,12 @@ def run_cells(cells, config, machine=None, jobs: int = 1, store=None
     experiment = cells[0].experiment
     if len({c.key for c in cells}) != len(cells):
         raise ValueError("grid contains duplicate cells")
+    tags = {(c.machine, c.config) for c in cells}
+    if len(tags) > 1:
+        raise ValueError(
+            f"grid mixes machine/config tags {sorted(tags)}; run_cells "
+            f"executes one (machine, config) resolution at a time — "
+            f"partition by tag first (Session does this automatically)")
     machine = machine or paper_machine()
 
     result = GridResult(experiment=experiment)
@@ -196,7 +237,13 @@ def run_cells(cells, config, machine=None, jobs: int = 1, store=None
 
     prev_cache_dir = get_default_cache().directory
     if pending and store is not None and prev_cache_dir is None:
-        set_cache_dir(os.path.join(store.path, "programs"))
+        if hasattr(store, "programs_dir"):
+            programs = store.programs_dir()
+        else:  # duck-typed store without backend awareness
+            path = getattr(store, "path", None)
+            programs = os.path.join(path, "programs") if path else None
+        if programs:
+            set_cache_dir(programs)
 
     def record(key: str, value: float) -> None:
         result.values[key] = value

@@ -1,44 +1,61 @@
-"""Persistent run directories for experiment results.
+"""Persistent run stores for experiment results.
 
-A *run directory* is the on-disk record of one experiment campaign::
+A *run store* is the durable record of one experiment campaign: a
+manifest (config/machine fingerprint + per-experiment status), per-cell
+measured values at resume granularity, and the final per-experiment JSON
+artifacts.  :class:`RunStore` owns the campaign semantics — fingerprint
+guards, resume, merging — and delegates persistence to a pluggable
+:class:`~repro.eval.backends.StoreBackend` selected by URL:
 
-    run_dir/
-        manifest.json        # config fingerprint + per-experiment status
-        cells/fig10.json     # cell key -> measured value (resume granularity)
-        fig10.json           # final ExperimentResult artifact
+* ``dir:PATH`` (also the default for bare paths) — the original run
+  *directory* layout, byte-identical to the pre-backend format::
 
-Cell values are written through as they complete (atomic replace), so a
-killed run loses at most the in-flight cells; re-running with the same
-run directory skips every recorded cell.  A manifest fingerprint guards
-against resuming with a different simulation config or machine — mixing
-scales in one run directory would silently corrupt the artifact.
+      run_dir/
+          manifest.json        # config fingerprint + per-experiment status
+          cells/fig10.json     # cell key -> measured value
+          fig10.json           # final ExperimentResult artifact
 
-Run directories compose: :func:`merge_runs` unions the recorded cells of
-several directories (e.g. the shards of a ``repro-eval sweep --shard
-i/N`` campaign run on different machines) into one, verifying that every
-source carries the same fingerprint and that no two sources disagree on
-a cell's value.  Resuming from the merged directory then reassembles the
-exact single-machine result with zero new simulations.
+* ``sqlite:PATH.db`` — the same state in a single SQLite database file.
+
+Cell values are written through as they complete, so a killed run loses
+at most the in-flight cells; re-running against the same store skips
+every recorded cell.  A manifest fingerprint guards against resuming
+with a different simulation config or machine — mixing scales in one
+store would silently corrupt the artifact.
+
+Run stores compose: :func:`merge_runs` unions the recorded cells of
+several stores (e.g. the shards of a ``repro-eval sweep --shard i/N``
+campaign run on different machines) into one — sources and destination
+may use *different* backends — verifying that every source carries the
+same fingerprint and that no two sources disagree on a cell's value.
+Resuming from the merged store then reassembles the exact single-machine
+result with zero new simulations.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
-import os
-import tempfile
 
+from repro.eval.backends import StoreBackend, open_backend
 from repro.eval.result import ExperimentResult
 
-__all__ = ["RunStore", "StoreMismatchError", "merge_runs", "run_fingerprint"]
+__all__ = [
+    "RunStore",
+    "StoreMismatchError",
+    "config_fingerprint",
+    "merge_runs",
+    "open_store",
+    "run_fingerprint",
+]
 
 
 class StoreMismatchError(RuntimeError):
-    """Resuming a run directory with an incompatible config/machine."""
+    """Resuming a run store with an incompatible config/machine."""
 
 
-def run_fingerprint(config, machine) -> dict:
-    """JSON-able identity of one campaign's (config, machine) pair.
+def config_fingerprint(config) -> dict:
+    """JSON-able identity of one :class:`~repro.sim.SimConfig`.
 
     The simulation engine is deliberately excluded: engines are
     bit-identical in every reported statistic (tests/test_engine.py), so
@@ -47,47 +64,64 @@ def run_fingerprint(config, machine) -> dict:
     """
     cfg = dataclasses.asdict(config)
     cfg.pop("engine", None)
-    return {"config": json.loads(json.dumps(cfg, default=str)),
+    return json.loads(json.dumps(cfg, default=str))
+
+
+def run_fingerprint(config, machine) -> dict:
+    """JSON-able identity of one campaign's (config, machine) pair."""
+    return {"config": config_fingerprint(config),
             "machine": machine.describe()}
 
 
-def _atomic_write(path: str, text: str) -> None:
-    directory = os.path.dirname(path) or "."
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as f:
-            f.write(text)
-        os.replace(tmp, path)
-    except OSError:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+def _is_backend(obj) -> bool:
+    return isinstance(obj, StoreBackend) and not isinstance(obj, str)
+
+
+def _as_store(source) -> "RunStore":
+    """Coerce a path / URL / backend / RunStore into a RunStore view."""
+    if isinstance(source, RunStore):
+        return source
+    return RunStore(source if _is_backend(source) else str(source))
 
 
 class RunStore:
-    """One run directory: manifest + per-experiment cells + artifacts."""
+    """One run store: manifest + per-experiment cells + artifacts.
 
-    MANIFEST = "manifest.json"
+    ``path_or_backend`` may be a directory path (the historical form), a
+    store URL (``dir:...`` / ``sqlite:...db``), or an already-built
+    backend instance.  Constructing a store never creates storage; use
+    :meth:`open_or_create` (or :func:`open_store`) for that.
+    """
 
-    def __init__(self, path: str):
-        self.path = str(path)
+    def __init__(self, path_or_backend):
+        if _is_backend(path_or_backend):
+            self.backend = path_or_backend
+        else:
+            self.backend = open_backend(str(path_or_backend))
         self._cells: dict[str, dict[str, float]] = {}
+
+    @property
+    def path(self) -> str:
+        """Filesystem anchor (directory path or database file path)."""
+        return self.backend.path
+
+    @property
+    def url(self) -> str:
+        """Canonical store URL (``dir:...`` / ``sqlite:...``)."""
+        return self.backend.url
 
     # -- creation / open -------------------------------------------------
     @classmethod
     def open_or_create(cls, path, fingerprint: dict | None = None
                        ) -> "RunStore":
-        """Open an existing run directory or create a fresh one.
+        """Open an existing run store or create a fresh one.
 
-        When ``fingerprint`` is given and the directory already has a
+        When ``fingerprint`` is given and the store already has a
         manifest, the fingerprints must match (else
-        :class:`StoreMismatchError`); a fresh directory records it.
+        :class:`StoreMismatchError`); a fresh store records it.
         """
-        store = cls(path)
-        os.makedirs(store.path, exist_ok=True)
-        os.makedirs(os.path.join(store.path, "cells"), exist_ok=True)
+        store = _as_store(path)
+        store.backend.ensure()
         manifest = store.manifest()
         if manifest is None:
             store._write_manifest({"fingerprint": fingerprint or {},
@@ -95,28 +129,23 @@ class RunStore:
         elif fingerprint is not None:
             recorded = manifest.get("fingerprint")
             if not recorded:
-                # directory created without a fingerprint: adopt this one
+                # store created without a fingerprint: adopt this one
                 # so later resumes are guarded.
                 manifest["fingerprint"] = fingerprint
                 store._write_manifest(manifest)
             elif recorded != fingerprint:
                 raise StoreMismatchError(
-                    f"run directory {store.path!r} was created with a "
-                    f"different config/machine; use a fresh --out directory "
-                    f"or matching --scale"
+                    f"run store {store.url!r} was created with a "
+                    f"different config/machine; use a fresh --out/--store "
+                    f"location or matching --scale"
                 )
         return store
 
     def manifest(self) -> dict | None:
-        try:
-            with open(os.path.join(self.path, self.MANIFEST)) as f:
-                return json.load(f)
-        except (OSError, json.JSONDecodeError):
-            return None
+        return self.backend.load_manifest()
 
     def _write_manifest(self, manifest: dict) -> None:
-        _atomic_write(os.path.join(self.path, self.MANIFEST),
-                      json.dumps(manifest, indent=2))
+        self.backend.save_manifest(manifest)
 
     def update_manifest(self, experiment: str, **fields) -> None:
         manifest = self.manifest() or {"fingerprint": {}, "experiments": {}}
@@ -125,40 +154,27 @@ class RunStore:
         self._write_manifest(manifest)
 
     # -- cells (resume granularity) --------------------------------------
-    def _cells_path(self, experiment: str) -> str:
-        return os.path.join(self.path, "cells", f"{experiment}.json")
-
     def load_cells(self, experiment: str) -> dict[str, float]:
         """Recorded cell values for one experiment (may be empty)."""
         if experiment not in self._cells:
-            try:
-                with open(self._cells_path(experiment)) as f:
-                    self._cells[experiment] = json.load(f)
-            except (OSError, json.JSONDecodeError):
-                self._cells[experiment] = {}
+            self._cells[experiment] = self.backend.load_cells(experiment)
         return self._cells[experiment]
 
     def record_cell(self, experiment: str, key: str, value: float) -> None:
         """Record one completed cell (write-through, atomic)."""
         cells = self.load_cells(experiment)
         cells[key] = value
-        _atomic_write(self._cells_path(experiment),
-                      json.dumps(cells, indent=0, sort_keys=True))
+        self.backend.save_cells(experiment, cells)
 
     def record_cells(self, experiment: str, values: dict) -> None:
-        """Record a batch of completed cells in one atomic write."""
+        """Record a batch of completed cells in one write."""
         cells = self.load_cells(experiment)
         cells.update(values)
-        _atomic_write(self._cells_path(experiment),
-                      json.dumps(cells, indent=0, sort_keys=True))
+        self.backend.save_cells(experiment, cells)
 
     def experiments_with_cells(self) -> list[str]:
         """Experiments that have recorded cell values, sorted by name."""
-        try:
-            names = os.listdir(os.path.join(self.path, "cells"))
-        except OSError:
-            return []
-        return sorted(n[:-5] for n in names if n.endswith(".json"))
+        return self.backend.experiments_with_cells()
 
     # -- artifacts -------------------------------------------------------
     def fingerprint(self) -> dict | None:
@@ -167,15 +183,18 @@ class RunStore:
         return (manifest or {}).get("fingerprint") or None
 
     def save_artifact(self, result: ExperimentResult) -> str:
-        path = result.save(self.path)
+        location = self.backend.save_artifact(result.experiment,
+                                              result.to_json())
         self.update_manifest(result.experiment, status="done")
-        return path
+        return location
 
     def load_artifact(self, experiment: str) -> ExperimentResult | None:
+        text = self.backend.load_artifact(experiment)
+        if text is None:
+            return None
         try:
-            with open(os.path.join(self.path, f"{experiment}.json")) as f:
-                data = json.load(f)
-        except (OSError, json.JSONDecodeError):
+            data = json.loads(text)
+        except json.JSONDecodeError:
             return None
         return ExperimentResult(
             experiment=data["experiment"], title=data["title"],
@@ -183,37 +202,63 @@ class RunStore:
             notes=data.get("notes", []), meta=data.get("meta", {}),
         )
 
+    # -- misc ------------------------------------------------------------
+    def programs_dir(self) -> str | None:
+        """Directory of the shared compiled-program disk cache, if any."""
+        return self.backend.programs_dir()
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_store(url, fingerprint: dict | None = None) -> RunStore:
+    """Open (creating if necessary) a run store from a URL/path/backend.
+
+    The friendly entry point for the URL form: ``open_store("results")``,
+    ``open_store("sqlite:campaign.db", run_fingerprint(cfg, machine))``.
+    """
+    return RunStore.open_or_create(url, fingerprint)
+
 
 def merge_runs(dest_path, source_paths) -> RunStore:
-    """Union several run directories' cells into one (shard reassembly).
+    """Union several run stores' cells into one (shard reassembly).
 
-    Every source (and the destination, if it already has one) must carry
-    the same manifest fingerprint - merging shards simulated at
-    different scales or machines would silently corrupt the campaign.
-    Unstamped sources (created without a fingerprint) may only merge
-    with other unstamped directories, since compatibility cannot be
-    verified against them.  Sources disagreeing on a recorded cell's
-    value also raise :class:`StoreMismatchError`: shards are disjoint by
-    construction, so a conflict means the directories do not belong to
-    one campaign.  All validation happens before anything is written -
-    a rejected merge never leaves the destination half-merged.
+    Sources and destination are paths, store URLs, backends or open
+    :class:`RunStore` instances — backends may be mixed freely (a SQLite
+    shard merges into a directory store and vice versa).  Every source
+    (and the destination, if it already has one) must carry the same
+    manifest fingerprint - merging shards simulated at different scales
+    or machines would silently corrupt the campaign.  Unstamped sources
+    (created without a fingerprint) may only merge with other unstamped
+    stores, since compatibility cannot be verified against them.
+    Sources disagreeing on a recorded cell's value also raise
+    :class:`StoreMismatchError`: shards are disjoint by construction, so
+    a conflict means the stores do not belong to one campaign.  All
+    validation happens before anything is written - a rejected merge
+    never leaves the destination half-merged.
 
     Returns the destination store; resuming an experiment or sweep from
     it reuses every merged cell.
     """
-    sources = [RunStore(str(p)) for p in source_paths]
+    sources = [_as_store(p) for p in source_paths]
     if not sources:
-        raise ValueError("need at least one source run directory")
+        raise ValueError("need at least one source run store")
     for src in sources:
         if src.manifest() is None:
             raise StoreMismatchError(
-                f"source {src.path!r} is not a run directory "
+                f"source {src.url!r} is not a run store "
                 f"(no readable manifest)"
             )
     stamped = [src.fingerprint() for src in sources]
     present = [fp for fp in stamped if fp is not None]
     if present and len(present) != len(stamped):
-        unstamped = [src.path for src, fp in zip(sources, stamped)
+        unstamped = [src.url for src, fp in zip(sources, stamped)
                      if fp is None]
         raise StoreMismatchError(
             f"sources {unstamped} carry no config/machine fingerprint "
@@ -222,14 +267,14 @@ def merge_runs(dest_path, source_paths) -> RunStore:
     for src, fp in zip(sources, stamped):
         if fp is not None and fp != present[0]:
             raise StoreMismatchError(
-                f"source {src.path!r} was created with a different "
+                f"source {src.url!r} was created with a different "
                 f"config/machine than the other sources"
             )
     fingerprint = present[0] if present else None
     dest = RunStore.open_or_create(dest_path, fingerprint)
     if fingerprint is None and dest.fingerprint() is not None:
         raise StoreMismatchError(
-            f"destination {dest.path!r} records a config/machine "
+            f"destination {dest.url!r} records a config/machine "
             f"fingerprint but the sources carry none; compatibility "
             f"cannot be verified"
         )
@@ -245,7 +290,7 @@ def merge_runs(dest_path, source_paths) -> RunStore:
                     raise StoreMismatchError(
                         f"cell {key!r} of {experiment!r} has conflicting "
                         f"values across sources ({bucket[key]!r} vs "
-                        f"{value!r}); these run directories do not belong "
+                        f"{value!r}); these run stores do not belong "
                         f"to one campaign"
                     )
                 bucket[key] = value

@@ -170,16 +170,22 @@ def _resolve_workloads(workloads) -> list:
     return wls
 
 
-def sweep_cells(n_threads: int = 4, workloads=None) -> list:
+def sweep_cells(n_threads: int = 4, workloads=None, *,
+                machine_tag: str = "", config_tag: str = "") -> list:
     """The sweep's simulation grid: one cell per (workload, semantics).
 
     Cells carry the canonical member only; the other members of each
     group inherit its measured IPC at join time.  Workloads keep all
     four Table 2 software threads regardless of ``n_threads`` - the OS
     model timeshares them over the scheme's contexts.
+    ``machine_tag``/``config_tag`` stamp the cells' identity for
+    multi-machine / multi-scale campaigns (see
+    :class:`~repro.eval.runner.Cell`); the defaults keep the historical
+    single-machine keys.
     """
     experiment = sweep_experiment_id(n_threads)
-    return [Cell(experiment, "workload", wl, group.canonical)
+    return [Cell(experiment, "workload", wl, group.canonical,
+                 machine=machine_tag, config=config_tag)
             for wl in _resolve_workloads(workloads)
             for group in enumerate_candidates(n_threads)]
 
@@ -191,6 +197,7 @@ def _point_dict(p) -> dict:
 
 def run_sweep(n_threads: int = 4, workloads=None, config=None, machine=None,
               *, jobs: int = 1, store=None, shard=None,
+              machine_tag: str = "", config_tag: str = "",
               budget_transistors: float | None = None,
               budget_gate_delays: float | None = None
               ) -> tuple[ExperimentResult, GridResult]:
@@ -207,8 +214,12 @@ def run_sweep(n_threads: int = 4, workloads=None, config=None, machine=None,
         shard: optional ``(index, count)`` - simulate only that
             deterministic slice of the grid (1-based).  The result is
             then a partial cell report, not a frontier; merge the shard
-            run directories with :func:`~repro.eval.store.merge_runs`
+            run stores with :func:`~repro.eval.store.merge_runs`
             and re-run without ``shard`` to assemble the frontier.
+        machine_tag / config_tag: identity tags stamped on every cell
+            for multi-machine / multi-scale campaigns (``machine`` must
+            then be the machine the tag names).  Defaults keep the
+            historical single-machine cell keys.
         budget_transistors / budget_gate_delays: optional hardware
             budget for the Section 5.2 recommendation.
 
@@ -221,7 +232,8 @@ def run_sweep(n_threads: int = 4, workloads=None, config=None, machine=None,
     wls = _resolve_workloads(workloads)
     groups = enumerate_candidates(n_threads)
     experiment = sweep_experiment_id(n_threads)
-    cells = sweep_cells(n_threads, wls)
+    cells = sweep_cells(n_threads, wls,
+                        machine_tag=machine_tag, config_tag=config_tag)
 
     if shard is not None:
         index, count = shard
@@ -253,7 +265,8 @@ def run_sweep(n_threads: int = 4, workloads=None, config=None, machine=None,
     avg_ipc = {}
     labels = {}
     for group in groups:
-        vals = [grid[Cell(experiment, "workload", wl, group.canonical)]
+        vals = [grid[Cell(experiment, "workload", wl, group.canonical,
+                          machine=machine_tag, config=config_tag)]
                 for wl in wls]
         label = ",".join(group.members)
         labels[group.canonical] = label

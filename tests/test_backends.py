@@ -1,0 +1,289 @@
+"""Store-backend parity: directory and SQLite must be interchangeable.
+
+Property tests pin that both backends round-trip identical cell
+values/manifests and that :func:`merge_runs` across mixed backends
+equals the single-backend result; the campaign tests pin the acceptance
+path — a two-shard sweep stored in SQLite merges to the same frontier
+as the unsharded directory-backend run.
+"""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import paper_machine
+from repro.eval import (
+    RunStore,
+    Session,
+    StoreMismatchError,
+    merge_runs,
+    open_store,
+    parse_store_url,
+)
+from repro.eval.backends import DirectoryBackend, SQLiteBackend, open_backend
+from repro.sim import SimConfig
+
+TINY = SimConfig(instr_limit=800, timeslice=400, warmup_instrs=200)
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+#: experiment ids / cell keys as they occur in practice (workload names,
+#: scheme grammar incl. @N qualifiers, shard suffixes).
+_EXPERIMENTS = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789._-", min_size=1,
+    max_size=12).filter(lambda s: s not in (".", ".."))
+_KEYS = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+             "0123456789:@%._-", min_size=1, max_size=40)
+_VALUES = st.floats(allow_nan=False, allow_infinity=False, width=64)
+# min_size=1: an experiment with zero recorded cells carries no
+# information, and the backends legitimately differ there (a directory
+# keeps an empty cells file, SQLite stores no rows at all).
+_CELLS = st.dictionaries(_KEYS, _VALUES, min_size=1, max_size=8)
+_CAMPAIGNS = st.dictionaries(_EXPERIMENTS, _CELLS, min_size=1, max_size=4)
+_MANIFESTS = st.fixed_dictionaries({
+    "fingerprint": st.dictionaries(
+        st.text(alphabet="abcdef", min_size=1, max_size=6),
+        st.one_of(st.integers(), st.text(max_size=8)), max_size=3),
+    "experiments": st.dictionaries(_EXPERIMENTS, st.fixed_dictionaries(
+        {"cells": st.integers(0, 1000)}), max_size=3),
+})
+
+
+def _backend(kind: str, tmp_path, name: str):
+    if kind == "dir":
+        return DirectoryBackend(str(tmp_path / name))
+    return SQLiteBackend(str(tmp_path / f"{name}.db"))
+
+
+@pytest.mark.parametrize("kind", ["dir", "sqlite"])
+class TestBackendRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(campaign=_CAMPAIGNS)
+    def test_cells_round_trip(self, kind, tmp_path_factory, campaign):
+        backend = _backend(kind, tmp_path_factory.mktemp("rt"), "s")
+        for experiment, cells in campaign.items():
+            backend.save_cells(experiment, cells)
+        # a fresh backend instance re-reads everything from storage
+        fresh = open_backend(backend.url)
+        assert fresh.experiments_with_cells() == sorted(
+            e for e in campaign)
+        for experiment, cells in campaign.items():
+            assert fresh.load_cells(experiment) == cells
+
+    @settings(max_examples=25, deadline=None)
+    @given(manifest=_MANIFESTS)
+    def test_manifest_round_trip(self, kind, tmp_path_factory, manifest):
+        backend = _backend(kind, tmp_path_factory.mktemp("mf"), "s")
+        assert backend.load_manifest() is None  # reads never create
+        backend.save_manifest(manifest)
+        assert open_backend(backend.url).load_manifest() == manifest
+
+    def test_artifact_round_trip(self, kind, tmp_path):
+        backend = _backend(kind, tmp_path, "s")
+        assert backend.load_artifact("fig9") is None
+        backend.save_artifact("fig9", '{"experiment": "fig9"}')
+        assert json.loads(backend.load_artifact("fig9")) == {
+            "experiment": "fig9"}
+
+    def test_reads_do_not_create_storage(self, kind, tmp_path):
+        backend = _backend(kind, tmp_path, "probe")
+        assert backend.load_cells("x") == {}
+        assert backend.experiments_with_cells() == []
+        assert not os.path.exists(backend.path)
+
+
+class TestBackendParity:
+    @settings(max_examples=20, deadline=None)
+    @given(campaign=_CAMPAIGNS)
+    def test_both_backends_store_identical_campaigns(self, tmp_path_factory,
+                                                     campaign):
+        tmp = tmp_path_factory.mktemp("par")
+        stores = [RunStore.open_or_create(tmp / "d", {"f": 1}),
+                  open_store(f"sqlite:{tmp / 's.db'}", {"f": 1})]
+        for store in stores:
+            for experiment, cells in campaign.items():
+                store.record_cells(experiment, cells)
+        a, b = stores
+        assert a.experiments_with_cells() == b.experiments_with_cells()
+        for experiment in campaign:
+            assert a.load_cells(experiment) == b.load_cells(experiment)
+        assert a.fingerprint() == b.fingerprint()
+
+    @settings(max_examples=15, deadline=None)
+    @given(left=_CAMPAIGNS, right=_CAMPAIGNS)
+    def test_mixed_backend_merge_equals_single_backend(self, tmp_path_factory,
+                                                       left, right):
+        # shards may not disagree on a shared cell: align the overlap.
+        for experiment, cells in left.items():
+            for key in set(cells) & set(right.get(experiment, {})):
+                right[experiment][key] = cells[key]
+        tmp = tmp_path_factory.mktemp("mix")
+
+        def populate(store, campaign):
+            for experiment, cells in campaign.items():
+                store.record_cells(experiment, cells)
+            return store
+
+        # mixed: directory shard + sqlite shard -> sqlite destination
+        populate(RunStore.open_or_create(tmp / "d", {"f": 1}), left)
+        populate(open_store(f"sqlite:{tmp / 's.db'}", {"f": 1}), right)
+        mixed = merge_runs(f"sqlite:{tmp / 'mixed.db'}",
+                           [tmp / "d", f"sqlite:{tmp / 's.db'}"])
+        # single-backend reference: two directory shards -> directory
+        populate(RunStore.open_or_create(tmp / "d1", {"f": 1}), left)
+        populate(RunStore.open_or_create(tmp / "d2", {"f": 1}), right)
+        single = merge_runs(tmp / "single", [tmp / "d1", tmp / "d2"])
+        assert (mixed.experiments_with_cells()
+                == single.experiments_with_cells())
+        for experiment in mixed.experiments_with_cells():
+            assert (mixed.load_cells(experiment)
+                    == single.load_cells(experiment))
+
+    def test_conflicting_mixed_merge_rejected(self, tmp_path):
+        a = RunStore.open_or_create(tmp_path / "d", {"f": 1})
+        b = open_store(f"sqlite:{tmp_path / 's.db'}", {"f": 1})
+        a.record_cell("x", "k", 1.0)
+        b.record_cell("x", "k", 2.0)
+        with pytest.raises(StoreMismatchError, match="conflicting"):
+            merge_runs(tmp_path / "m", [a, b])
+
+
+class TestUrls:
+    def test_parse_store_url_forms(self):
+        assert parse_store_url("results") == ("dir", "results")
+        assert parse_store_url("dir:results") == ("dir", "results")
+        assert parse_store_url("sqlite:c.db") == ("sqlite", "c.db")
+        with pytest.raises(ValueError, match="empty path"):
+            parse_store_url("sqlite:")
+
+    def test_unrecognized_scheme_rejected_not_treated_as_directory(self):
+        """A typo'd backend scheme must error, not silently create a
+        directory literally named 'sqlite3:camp.db'."""
+        for url in ("sqlite3:camp.db", "sqllite:camp.db", "http:foo"):
+            with pytest.raises(ValueError, match="unknown store scheme"):
+                parse_store_url(url)
+        # dir: still forces any literal name through
+        assert parse_store_url("dir:sqlite3:camp.db") == (
+            "dir", "sqlite3:camp.db")
+
+    def test_open_backend_kinds(self, tmp_path):
+        assert isinstance(open_backend(str(tmp_path / "d")),
+                          DirectoryBackend)
+        assert isinstance(open_backend(f"sqlite:{tmp_path / 's.db'}"),
+                          SQLiteBackend)
+
+    def test_runstore_accepts_urls(self, tmp_path):
+        store = RunStore.open_or_create(f"sqlite:{tmp_path / 'c.db'}")
+        store.record_cell("x", "k", 1.0)
+        assert RunStore(store.url).load_cells("x") == {"k": 1.0}
+
+
+class TestCliStore:
+    def test_store_url_run_resume_cycle(self, tmp_path, capsys):
+        from repro.eval.cli import main
+
+        url = f"sqlite:{tmp_path / 'camp.db'}"
+        assert main(["-e", "fig4", "--scale", "0.04", "--store", url]) == 0
+        assert "cells: 27 simulated, 0 reused" in capsys.readouterr().out
+        assert main(["-e", "fig4", "--scale", "0.04", "--store", url]) == 0
+        assert "cells: 0 simulated, 27 reused" in capsys.readouterr().out
+
+    def test_bad_store_scheme_is_a_clean_cli_error(self, tmp_path, capsys):
+        from repro.eval.cli import main
+
+        assert main(["-e", "fig9", "--store", "sqlite3:camp.db"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown store scheme" in err and "Traceback" not in err
+        assert not (tmp_path / "sqlite3:camp.db").exists()
+
+    def test_store_conflicting_with_out_rejected(self, tmp_path, capsys):
+        from repro.eval.cli import main
+
+        assert main(["-e", "fig9", "--store", f"sqlite:{tmp_path / 'a.db'}",
+                     "--out", str(tmp_path / "b")]) == 1
+        assert "conflicts" in capsys.readouterr().err
+
+    def test_store_agreeing_with_out_allowed(self, tmp_path, capsys):
+        from repro.eval.cli import main
+
+        path = str(tmp_path / "run")
+        assert main(["-e", "fig9", "--store", f"dir:{path}",
+                     "--out", path]) == 0
+        assert (tmp_path / "run" / "fig9.json").exists()
+
+    def test_store_scale_mismatch_rejected(self, tmp_path, capsys):
+        from repro.eval.cli import main
+
+        url = f"sqlite:{tmp_path / 'camp.db'}"
+        assert main(["-e", "fig9", "--store", url, "--scale", "0.05"]) == 0
+        capsys.readouterr()
+        assert main(["-e", "fig9", "--store", url, "--scale", "0.10"]) == 1
+        assert "different config" in capsys.readouterr().err
+
+    def test_merge_subcommand_mixes_backends(self, tmp_path, capsys):
+        from repro.eval.cli import main
+
+        d = RunStore.open_or_create(tmp_path / "d", {"f": 1})
+        d.record_cell("x", "k1", 1.0)
+        s = open_store(f"sqlite:{tmp_path / 's.db'}", {"f": 1})
+        s.record_cell("x", "k2", 2.0)
+        merged = f"sqlite:{tmp_path / 'm.db'}"
+        assert main(["merge", merged, str(tmp_path / "d"),
+                     f"sqlite:{tmp_path / 's.db'}"]) == 0
+        out = capsys.readouterr().out
+        assert "x: 2 cells" in out and "2 run stores" in out
+        assert RunStore(merged).load_cells("x") == {"k1": 1.0, "k2": 2.0}
+
+
+class TestSessionLifecycle:
+    def test_context_manager_closes_store(self, tmp_path):
+        url = f"sqlite:{tmp_path / 'c.db'}"
+        with Session(config=TINY, store=url) as session:
+            session.run("fig9", save=True)
+            backend = session.store.backend
+        assert backend._conn is None  # connection released
+        # close is idempotent and reopening works
+        Session(config=TINY, store=url).close()
+
+
+class TestSqliteCampaigns:
+    """The acceptance path: sharded SQLite campaign == directory run."""
+
+    def test_two_shard_sqlite_sweep_merges_to_directory_frontier(
+            self, tmp_path):
+        machine = paper_machine()
+        full = Session(machine=machine, config=TINY,
+                       store=str(tmp_path / "full")).sweep(2, ["LLLL"])
+        shard_urls = []
+        executed = 0
+        for i in (1, 2):
+            url = f"sqlite:{tmp_path / f'shard{i}.db'}"
+            session = Session(machine=machine, config=TINY, store=url)
+            session.sweep(2, ["LLLL"], shard=(i, 2))
+            executed += session.last_grid.executed
+            shard_urls.append(url)
+        merged_url = f"sqlite:{tmp_path / 'merged.db'}"
+        merge_runs(merged_url, shard_urls)
+        resumed_session = Session(machine=machine, config=TINY,
+                                  store=merged_url)
+        resumed = resumed_session.sweep(2, ["LLLL"])
+        assert resumed_session.last_grid.executed == 0
+        assert resumed_session.last_grid.reused == executed
+        assert resumed.to_json() == full.to_json()
+
+    def test_experiment_resume_across_backends(self, tmp_path):
+        machine = paper_machine()
+        dir_store = str(tmp_path / "run")
+        first = Session(machine=machine, config=TINY,
+                        store=dir_store).run("fig6")
+        merged = f"sqlite:{tmp_path / 'run.db'}"
+        merge_runs(merged, [dir_store])
+        session = Session(machine=machine, config=TINY, store=merged)
+        resumed = session.run("fig6")
+        assert session.last_grid.executed == 0
+        assert session.last_grid.reused == 18
+        assert resumed.to_json() == first.to_json()

@@ -18,6 +18,8 @@ from repro.sim import SimConfig
 
 TINY = SimConfig(instr_limit=1_500, timeslice=600, warmup_instrs=400)
 
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 @pytest.fixture(scope="module")
 def fig10():
@@ -40,6 +42,25 @@ class TestResultObject:
         r = ExperimentResult("x", "demo", ["a"], [(1,)])
         path = r.save(tmp_path)
         assert json.load(open(path))["title"] == "demo"
+
+    def test_save_is_atomic(self, tmp_path, monkeypatch):
+        """A failing write must leave the previous artifact intact (no
+        truncated JSON) and no temp litter behind."""
+        import os
+
+        r = ExperimentResult("x", "demo", ["a"], [(1,)])
+        path = r.save(tmp_path)
+        original = open(path).read()
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="disk full"):
+            ExperimentResult("x", "changed", ["a"], [(2,)]).save(tmp_path)
+        monkeypatch.undo()
+        assert open(path).read() == original
+        assert [f for f in os.listdir(tmp_path) if f.endswith(".tmp")] == []
 
     def test_render_table_alignment(self):
         text = render_table(["name", "v"], [("a", 1.0), ("bb", 22.5)])

@@ -14,7 +14,9 @@ import os
 
 import pytest
 
-from repro.eval import default_config, run_experiment
+from repro.eval import Session, default_config, merge_runs, run_experiment
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 _REGEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "regen.py")
 _spec = importlib.util.spec_from_file_location("golden_regen", _REGEN_PATH)
@@ -54,3 +56,39 @@ def test_artifact_matches_golden_bytes(name, engine):
         f"if the change is intentional, regenerate with "
         f"`python tests/golden/regen.py` and review the diff"
     )
+
+
+class TestSessionAndBackends:
+    """The corpus must reproduce through the Session API under both
+    store backends — simulated once into a directory store, then merged
+    into SQLite and reassembled with zero new simulations."""
+
+    @pytest.fixture(scope="class")
+    def dir_store(self, tmp_path_factory):
+        return str(tmp_path_factory.mktemp("golden") / "run")
+
+    @pytest.fixture(scope="class")
+    def dir_session(self, dir_store):
+        session = Session(config=default_config(GOLDEN_SCALE),
+                          store=dir_store)
+        session.run_all(GOLDEN_EXPERIMENTS)
+        return session
+
+    @pytest.fixture(scope="class")
+    def sqlite_session(self, dir_session, dir_store, tmp_path_factory):
+        url = f"sqlite:{tmp_path_factory.mktemp('golden-sq') / 'run.db'}"
+        merge_runs(url, [dir_store])
+        return Session(config=default_config(GOLDEN_SCALE), store=url)
+
+    @pytest.mark.parametrize("name", GOLDEN_EXPERIMENTS)
+    def test_directory_backed_session_matches_golden(self, dir_session,
+                                                     name):
+        assert dir_session.run(name).to_json() == _golden_bytes(name)
+
+    @pytest.mark.parametrize("name", GOLDEN_EXPERIMENTS)
+    def test_sqlite_backed_session_matches_golden(self, sqlite_session,
+                                                  name):
+        result = sqlite_session.run(name)
+        assert sqlite_session.last_grid is None \
+            or sqlite_session.last_grid.executed == 0
+        assert result.to_json() == _golden_bytes(name)
