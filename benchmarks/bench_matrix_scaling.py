@@ -1,0 +1,47 @@
+"""Cross-machine matrix campaigns: fan-out cost and the report join.
+
+The matrix verb adds two costs on top of the per-machine sweeps it
+reuses: the fan-out bookkeeping (one tagged sweep per machine variant
+through one session) and the scaling-report join (frontiers + rank
+stability + recommendations).  The join is pure CPU over recorded
+results and must stay negligible next to simulation; the timed bodies
+pin both.
+"""
+
+import pytest
+
+from benchmarks.conftest import PRINT_CONFIG, show
+from repro.arch import machine_family
+from repro.eval import Session
+from repro.eval.scaling import rank_stability, scaling_report
+
+
+@pytest.fixture(scope="module")
+def matrix2():
+    family = machine_family(clusters=(2, 4), widths=(4,))
+    session = Session(machines=family, config=PRINT_CONFIG)
+    return session.run_matrix("sweep2", machines=sorted(family),
+                              workloads=["LLLL", "LLHH", "HHHH"])
+
+
+def test_matrix_regenerate(matrix2):
+    report = scaling_report(matrix2, budget_transistors=4_000)
+    show(report)
+    assert len(report.rows) == 2
+    # every variant's frontier is non-empty and cost-sorted
+    for points in report.meta["frontiers"].values():
+        assert points
+        costs = [p["transistors"] for p in points]
+        assert costs == sorted(costs)
+
+
+def test_bench_scaling_report_join(benchmark, matrix2):
+    """The report join (frontiers + ranks + recommendations), no sims."""
+    report = benchmark(lambda: scaling_report(matrix2,
+                                              budget_transistors=4_000))
+    assert report.meta["rank_stability"]["variants"] == ["2c4w", "4c4w"]
+
+
+def test_bench_rank_stability(benchmark, matrix2):
+    stability = benchmark(lambda: rank_stability(matrix2))
+    assert set(stability["ranks"]) >= {"1S", "C2"}

@@ -1,6 +1,22 @@
 """Clustered VLIW machine descriptions."""
 
 from repro.arch.machine import ClusterSpec, Machine
-from repro.arch.presets import paper_machine, small_machine, wide_machine
+from repro.arch.presets import (
+    machine_family,
+    paper_machine,
+    preset_machine,
+    scaled_machine,
+    small_machine,
+    wide_machine,
+)
 
-__all__ = ["ClusterSpec", "Machine", "paper_machine", "small_machine", "wide_machine"]
+__all__ = [
+    "ClusterSpec",
+    "Machine",
+    "machine_family",
+    "paper_machine",
+    "preset_machine",
+    "scaled_machine",
+    "small_machine",
+    "wide_machine",
+]

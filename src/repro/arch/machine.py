@@ -138,3 +138,12 @@ class Machine:
             f"{self.name}: {self.n_clusters} clusters x "
             f"{self.cluster.issue_width}-issue ({self.total_issue_width}-wide)"
         )
+
+    def axes(self) -> dict:
+        """The machine's scaling axes, JSON-able (artifact metadata)."""
+        return {
+            "name": self.name,
+            "clusters": self.n_clusters,
+            "issue_width": self.cluster.issue_width,
+            "total_issue": self.total_issue_width,
+        }

@@ -4,13 +4,29 @@
 uses (Section 5.1): 16-issue, 4 clusters x 4-issue, 2 multipliers and one
 load/store unit per cluster, 2-cycle memory/multiply latency, 2-cycle
 taken-branch penalty.
+
+Beyond the paper's fixed machine, :func:`scaled_machine` parameterizes
+the same cluster recipe over cluster count and issue width, and
+:func:`machine_family` builds the named grid of variants that
+cross-machine scaling campaigns (``Session.run_matrix``,
+``repro-eval matrix``) fan experiments over — e.g. 2/4/8 clusters at
+3-, 4- and 5-issue per cluster.  Family members are named ``NcWw``
+(``"8c4w"`` = 8 clusters x 4-issue), resolvable from strings via
+:func:`preset_machine`.
 """
 
 from __future__ import annotations
 
 from repro.arch.machine import ClusterSpec, Machine
 
-__all__ = ["paper_machine", "small_machine", "wide_machine"]
+__all__ = [
+    "machine_family",
+    "paper_machine",
+    "preset_machine",
+    "scaled_machine",
+    "small_machine",
+    "wide_machine",
+]
 
 
 def paper_machine() -> Machine:
@@ -38,3 +54,67 @@ def wide_machine() -> Machine:
         cluster=ClusterSpec(issue_width=4, n_mem=1, n_mul=2, n_br=1),
         name="vex-8c4w",
     )
+
+
+def scaled_machine(n_clusters: int, issue_width: int = 4) -> Machine:
+    """The paper's cluster recipe scaled to any geometry.
+
+    Keeps the paper's per-cluster resource mix — one load/store unit,
+    one branch unit, two multipliers — clamped to what ``issue_width``
+    can host (a 2-issue cluster gets one multiplier, like
+    :func:`small_machine`, so the multiply slots never swallow the
+    whole cluster).  ``scaled_machine(4, 4)`` is exactly
+    :func:`paper_machine` and ``scaled_machine(2, 2)`` exactly
+    :func:`small_machine`, so scaled variants stay comparable points on
+    the same design axis.  ``issue_width`` must be >= 2 (one memory and
+    one branch slot need distinct slots).
+    """
+    if issue_width < 2:
+        raise ValueError(
+            f"issue_width must be >= 2 (memory and branch need distinct "
+            f"slots), got {issue_width}")
+    return Machine(
+        n_clusters=n_clusters,
+        cluster=ClusterSpec(issue_width=issue_width, n_mem=1,
+                            n_mul=min(2, issue_width - 1), n_br=1),
+        name=f"vex-{n_clusters}c{issue_width}w",
+    )
+
+
+def machine_family(clusters=(2, 4, 8), widths=(4,)) -> dict[str, Machine]:
+    """A named grid of :func:`scaled_machine` variants.
+
+    Returns ``{tag: Machine}`` with ``NcWw`` tags (``"2c4w"``), ready to
+    pass as a :class:`~repro.eval.api.Session`'s ``machines=`` registry.
+    The default spans the paper's cluster-scaling axis (2/4/8 clusters
+    at the paper's 4-issue width); pass ``widths=(3, 4, 5)`` to add the
+    narrower and wider per-cluster issue variants.
+    """
+    return {f"{c}c{w}w": scaled_machine(c, w)
+            for c in clusters for w in widths}
+
+
+def preset_machine(name: str) -> Machine:
+    """Resolve a machine preset by name.
+
+    Accepts the named presets (``"paper"``, ``"small"``, ``"wide"``)
+    and any family geometry in ``NcWw`` form (``"8c4w"``, ``"2c3w"``),
+    with or without the ``vex-`` prefix a :attr:`Machine.name` carries.
+    """
+    named = {"paper": paper_machine, "small": small_machine,
+             "wide": wide_machine}
+    key = name.strip().lower()
+    if key in named:
+        return named[key]()
+    geometry = key.removeprefix("vex-")
+    head, sep, tail = geometry.partition("c")
+    if sep and tail.endswith("w") and head.isdigit() \
+            and tail[:-1].isdigit():
+        try:
+            return scaled_machine(int(head), int(tail[:-1]))
+        except ValueError as exc:
+            raise ValueError(f"bad machine preset {name!r}: {exc}") from None
+    raise ValueError(
+        f"unknown machine preset {name!r}; use one of "
+        f"{sorted(named)} or a geometry like '8c4w' "
+        f"(clusters x per-cluster issue width)")

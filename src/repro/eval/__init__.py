@@ -35,6 +35,15 @@ from repro.eval.backends import (
 )
 from repro.eval.pareto import DesignPoint, design_points, pareto_frontier, recommend
 from repro.eval.result import ExperimentResult, render_table
+from repro.eval.scaling import (
+    MatrixResult,
+    budget_recommendations,
+    frontier_map,
+    machine_axes,
+    rank_stability,
+    scaling_report,
+    variant_label,
+)
 from repro.eval.runner import Cell, GridResult, run_cell, run_cells, shard_cells
 from repro.eval.store import (
     RunStore,
@@ -52,6 +61,7 @@ from repro.eval.sweep import (
     run_sweep,
     sweep_cells,
     sweep_experiment_id,
+    sweep_threads,
 )
 
 __all__ = [
@@ -64,12 +74,14 @@ __all__ = [
     "ExperimentDef",
     "ExperimentResult",
     "GridResult",
+    "MatrixResult",
     "RunStore",
     "SIM_EXPERIMENTS",
     "SQLiteBackend",
     "Session",
     "StoreBackend",
     "StoreMismatchError",
+    "budget_recommendations",
     "candidate_table",
     "cell_factory",
     "config_fingerprint",
@@ -77,18 +89,24 @@ __all__ = [
     "enumerate_candidates",
     "enumerate_names",
     "experiment_cells",
+    "frontier_map",
+    "machine_axes",
     "merge_runs",
     "open_backend",
     "open_store",
     "parse_store_url",
+    "rank_stability",
     "run_cell",
     "run_cells",
     "run_experiment",
     "run_fingerprint",
     "run_sweep",
+    "scaling_report",
     "shard_cells",
     "sweep_cells",
     "sweep_experiment_id",
+    "sweep_threads",
+    "variant_label",
     "design_points",
     "pareto_frontier",
     "recommend",

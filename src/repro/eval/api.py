@@ -32,6 +32,20 @@ Cell identity carries the machine/config tags
 (:class:`~repro.eval.runner.Cell.key`), so one store holds the whole
 campaign without collisions, and the store fingerprint records the
 variant registries so a resumed campaign cannot silently redefine them.
+
+Cross-machine scaling campaigns fan one experiment (or sweep) over
+every registered variant in one call::
+
+    from repro.arch import machine_family
+    from repro.eval.scaling import scaling_report
+
+    session = Session(machines=machine_family(),   # 2/4/8 clusters
+                      store="sqlite:scaling.db", jobs=4)
+    matrix = session.run_matrix("sweep4")          # one store, all tags
+    report = scaling_report(matrix)                # frontiers + ranks
+
+See :mod:`repro.eval.scaling` for the report semantics and the
+``repro-eval matrix`` CLI subcommand for the command-line form.
 """
 
 from __future__ import annotations
@@ -291,6 +305,92 @@ class Session:
         if save:
             self._require_store().save_artifact(result)
         return result
+
+    def run_matrix(self, experiment: str = "sweep4", *, machines=None,
+                   configs=None, save: bool = False, **kw):
+        """Fan one experiment (or sweep) over machine/config variants.
+
+        ``experiment`` is any :data:`EXPERIMENT_DEFS` id (``"table1"``,
+        ``"fig10"``, …) or a sweep id (``"sweep"``/``"sweepN"``; pass
+        ``threads=N`` to override the sweep's thread count).  Every
+        selected variant runs through this session's verbs — same cell
+        tags, result/cell caches, sharding semantics and store — so a
+        whole scaling campaign lands in *one* store and resumes like
+        any other run.
+
+        ``machines``/``configs`` select the variants by tag (``""`` =
+        the session default; default: every registered variant, or the
+        session default when nothing is registered on that axis — a
+        registered machine identical to the session default would
+        otherwise simulate twice under distinct cell tags).  Extra
+        keyword arguments are forwarded to
+        each per-variant run (e.g. ``workloads=[...]`` or
+        ``budget_transistors=...`` for sweeps, ``schemes=...`` for
+        fig10).  ``save=True`` persists each variant's artifact.
+
+        Returns a :class:`~repro.eval.scaling.MatrixResult`; feed it to
+        :func:`~repro.eval.scaling.scaling_report` for the joined
+        cross-machine view (per-machine Pareto frontiers, scheme rank
+        stability, budget recommendations per geometry).
+        """
+        from repro.eval.scaling import MatrixResult
+        from repro.eval.sweep import sweep_experiment_id, sweep_threads
+
+        threads = sweep_threads(experiment)
+        if threads is None and experiment not in EXPERIMENT_DEFS:
+            raise KeyError(
+                f"unknown experiment {experiment!r}; choose from "
+                f"{sorted(EXPERIMENT_DEFS)} or a sweep id like 'sweep4'")
+        if threads is not None:
+            threads = kw.pop("threads", threads)
+            experiment_id = sweep_experiment_id(threads)
+        else:
+            experiment_id = experiment
+        machine_tags = self._axis_tags("machine", machines, self.machines,
+                                       self.machine_for)
+        config_tags = self._axis_tags("config", configs, self.configs,
+                                      self.config_for)
+        results = {}
+        executed = reused = 0
+        for mtag in machine_tags:
+            for ctag in config_tags:
+                if threads is not None:
+                    result = self.sweep(threads, machine=mtag, config=ctag,
+                                        save=save, **kw)
+                else:
+                    result = self.run(experiment, machine=mtag, config=ctag,
+                                      save=save, **kw)
+                if self.last_grid is not None:
+                    executed += self.last_grid.executed
+                    reused += self.last_grid.reused
+                results[(mtag, ctag)] = result
+        return MatrixResult(
+            experiment=experiment_id,
+            results=results,
+            machines={tag: self.machine_for(tag) for tag in machine_tags},
+            configs={tag: self.config_for(tag) for tag in config_tags},
+            executed=executed,
+            reused=reused,
+        )
+
+    @staticmethod
+    def _axis_tags(kind: str, given, registry, resolve) -> list:
+        """One matrix axis: default = every registered variant (the
+        session default only when the registry is empty — include it
+        explicitly with ``[""] + [...]`` when it is a distinct point)."""
+        if given is None:
+            tags = sorted(registry) or [""]
+        elif isinstance(given, str):
+            tags = [given]
+        else:
+            tags = list(given)
+        if not tags:
+            raise ValueError(f"matrix {kind} axis selects no variants")
+        if len(set(tags)) != len(tags):
+            raise ValueError(f"duplicate {kind} tags in matrix axis: {tags}")
+        for tag in tags:
+            resolve(tag)  # unknown tags raise the registry's KeyError
+        return tags
 
     def run_grid(self, cells) -> GridResult:
         """Execute a grid of cells under this session's bindings.

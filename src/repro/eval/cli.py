@@ -1,6 +1,6 @@
 """Command-line entry point: regenerate paper artifacts, sweep designs.
 
-Three subcommands::
+Four subcommands::
 
     repro-eval run --experiment fig10 --scale 0.5
     repro-eval run -e all --out results/ --jobs 4
@@ -16,6 +16,10 @@ Three subcommands::
     repro-eval sweep --threads 3 --shard 2/2 --out shard2   # machine 2
     repro-eval merge merged shard1 shard2        # reassemble
     repro-eval sweep --threads 3 --resume merged # frontier, 0 new sims
+
+    repro-eval matrix -e sweep4 --machines 2c4w,4c4w,8c4w \\
+               --store sqlite:scaling.db         # scaling campaign
+    repro-eval matrix -e table1 --machines 4c3w,4c5w  # width variants
 
 For backward compatibility a bare flag list (``repro-eval -e fig10``)
 runs the ``run`` subcommand.
@@ -39,7 +43,7 @@ import os
 import sys
 import time
 
-from repro.arch import paper_machine
+from repro.arch import paper_machine, preset_machine
 from repro.eval.api import Session
 from repro.eval.backends import parse_store_url
 from repro.eval.experiments import (
@@ -53,7 +57,8 @@ from repro.eval.store import (
     open_store,
     run_fingerprint,
 )
-from repro.eval.sweep import candidate_table
+from repro.eval.scaling import scaling_report
+from repro.eval.sweep import candidate_table, sweep_threads
 from repro.sim.engine import ENGINES
 
 
@@ -283,6 +288,106 @@ def _cmd_sweep(argv) -> int:
 
 
 # ----------------------------------------------------------------------
+# matrix — cross-machine scaling campaigns
+# ----------------------------------------------------------------------
+def _cmd_matrix(argv) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-eval matrix",
+        description="Fan one experiment (or design-space sweep) over "
+                    "several machine presets through one store and join "
+                    "the per-machine results into a cross-machine "
+                    "scaling report (frontiers, rank stability, budget "
+                    "recommendations per geometry)",
+    )
+    ap.add_argument("--experiment", "-e", default="sweep4",
+                    help="experiment id (table1, fig10, ...) or sweep id "
+                         "('sweep'/'sweepN'; default sweep4)")
+    ap.add_argument("--machines", default="2c4w,4c4w,8c4w",
+                    help="comma-separated machine presets: named "
+                         "(paper/small/wide) or geometries like 8c4w, "
+                         "4c3w, 4c5w (clusters x per-cluster issue "
+                         "width; default 2c4w,4c4w,8c4w)")
+    ap.add_argument("--workloads", default=None,
+                    help="comma-separated Table 2 workloads for sweep "
+                         "experiments (default: all nine)")
+    ap.add_argument("--budget-transistors", type=float, default=None,
+                    help="per-machine recommendation within this "
+                         "transistor budget")
+    ap.add_argument("--budget-gate-delays", type=float, default=None,
+                    help="per-machine recommendation within this "
+                         "gate-delay budget")
+    _add_sim_args(ap)
+    args = ap.parse_args(argv)
+
+    tags = [t.strip() for t in args.machines.split(",") if t.strip()]
+    if len(tags) < 2:
+        raise _CliError(
+            f"--machines needs at least two presets to form a matrix "
+            f"(got {tags or 'none'})")
+    if len(set(tags)) != len(tags):
+        raise _CliError(f"duplicate machine presets in {tags}")
+    try:
+        machines = {tag: preset_machine(tag) for tag in tags}
+    except ValueError as exc:
+        raise _CliError(str(exc)) from None
+
+    config = default_config(args.scale, engine=args.engine)
+    try:
+        url = _resolve_store_url(args)
+    except ValueError as exc:
+        raise _CliError(str(exc)) from None
+    # the store is opened by the Session (not _open_store) so its
+    # fingerprint records the machine registry of this campaign.
+    try:
+        session = Session(machine=paper_machine(), machines=machines,
+                          config=config, store=url, jobs=args.jobs)
+    except (StoreMismatchError, ValueError) as exc:
+        raise _CliError(str(exc)) from None
+
+    is_sweep = sweep_threads(args.experiment) is not None
+    kw = {}
+    if args.workloads:
+        if not is_sweep:
+            raise _CliError("--workloads only applies to sweep "
+                            "experiments (-e sweep / -e sweepN)")
+        kw["workloads"] = [w.strip().upper()
+                           for w in args.workloads.split(",") if w.strip()]
+    if is_sweep:
+        kw["budget_transistors"] = args.budget_transistors
+        kw["budget_gate_delays"] = args.budget_gate_delays
+    elif args.budget_transistors is not None \
+            or args.budget_gate_delays is not None:
+        raise _CliError("--budget-* only applies to sweep experiments")
+
+    t0 = time.time()
+    try:
+        matrix = session.run_matrix(args.experiment, machines=tags,
+                                    save=session.store is not None, **kw)
+    except (KeyError, ValueError) as exc:
+        raise _CliError(exc.args[0] if exc.args else str(exc)) from None
+    if all("avg_ipc" in r.meta for r in matrix.results.values()):
+        report = scaling_report(
+            matrix, budget_transistors=args.budget_transistors,
+            budget_gate_delays=args.budget_gate_delays)
+        print(report.render())
+        print()
+    else:
+        # no per-scheme IPC to join (e.g. table1): print the
+        # per-variant artifacts instead of a scaling report
+        report = None
+        for result in matrix.results.values():
+            print(result.render())
+            print()
+    print(f"  [{time.time() - t0:.1f}s]  {len(matrix.results)} variants "
+          f"of {matrix.experiment}; cells: {matrix.executed} simulated, "
+          f"{matrix.reused} reused")
+    if session.store is not None and report is not None:
+        path = session.store.save_artifact(report)
+        print(f"  saved: {path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
 # merge — reassemble shard run directories
 # ----------------------------------------------------------------------
 def _cmd_merge(argv) -> int:
@@ -306,7 +411,8 @@ def _cmd_merge(argv) -> int:
     return 0
 
 
-_COMMANDS = {"run": _cmd_run, "sweep": _cmd_sweep, "merge": _cmd_merge}
+_COMMANDS = {"run": _cmd_run, "sweep": _cmd_sweep, "merge": _cmd_merge,
+             "matrix": _cmd_matrix}
 
 
 def main(argv=None) -> int:

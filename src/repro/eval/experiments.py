@@ -65,6 +65,10 @@ __all__ = [
 def default_config(scale: float = 1.0, engine: str = "fast") -> SimConfig:
     """The standard scaled-down run (paper: 100M instrs, 1M slices).
 
+    ``scale`` multiplies quota, timeslice *and* warmup together
+    (:meth:`~repro.sim.SimConfig.scaled`), so the 1:10
+    warmup:measurement ratio holds at every scale — ``scale=0.04``
+    warms 80 instructions before an 800-instruction measurement.
     ``engine`` picks the simulation engine for every cell of every grid
     ('fast' by default; 'reference' runs the executable specification —
     same statistics, more wall-clock).

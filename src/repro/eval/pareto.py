@@ -12,7 +12,7 @@ cheap at thousands of points.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 from repro.cost import scheme_cost
 from repro.merge import PAPER_SCHEMES, canonical, get_scheme
@@ -22,12 +22,30 @@ __all__ = ["DesignPoint", "design_points", "pareto_frontier", "recommend"]
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """One scheme in the performance/cost plane."""
+    """One scheme in the performance/cost plane.
+
+    ``aliases`` lists other schemes folded into this point because they
+    occupy the *exact* same (ipc, transistors, gate_delays) coordinates
+    (set by :func:`pareto_frontier`'s tie dedup); it is excluded from
+    equality so a deduplicated frontier member still compares equal to
+    the original input point it represents.
+    """
 
     scheme: str
     ipc: float
     transistors: int
     gate_delays: int
+    aliases: tuple = field(default=(), compare=False)
+
+    def to_dict(self) -> dict:
+        """JSON-able form used by artifact meta (``aliases`` only when
+        ties were folded, keeping alias-free artifacts unchanged)."""
+        d = {"scheme": self.scheme, "ipc": self.ipc,
+             "transistors": self.transistors,
+             "gate_delays": self.gate_delays}
+        if self.aliases:
+            d["aliases"] = list(self.aliases)
+        return d
 
     def dominates(self, other: "DesignPoint") -> bool:
         """Pareto dominance: at least as good on all axes, better on one."""
@@ -63,8 +81,40 @@ def design_points(avg_ipc: dict, m_clusters: int = 4,
     return out
 
 
+def _dedupe_ties(points) -> list[DesignPoint]:
+    """One point per exact (ipc, transistors, gate_delays) coordinate.
+
+    Identical coordinates never dominate each other (dominance needs one
+    strict inequality), so without this every duplicate survives into
+    the frontier — the enumerated sweep spaces contain many cost-tied
+    schemes and their frontiers bloat with interchangeable entries.  The
+    representative is the lexicographically-first scheme name; the
+    folded names are recorded on ``aliases`` (pre-existing aliases are
+    merged in, so deduplication is idempotent).
+    """
+    groups: dict[tuple, list[DesignPoint]] = {}
+    for p in points:
+        groups.setdefault((p.ipc, p.transistors, p.gate_delays),
+                          []).append(p)
+    out = []
+    for tied in groups.values():
+        rep = min(tied, key=lambda p: p.scheme)
+        names = {a for p in tied for a in p.aliases}
+        names.update(p.scheme for p in tied)
+        names.discard(rep.scheme)
+        if set(rep.aliases) != names:
+            rep = replace(rep, aliases=tuple(sorted(names)))
+        out.append(rep)
+    return out
+
+
 def pareto_frontier(points) -> list[DesignPoint]:
     """Non-dominated points, sorted by increasing transistor count.
+
+    Exact coordinate ties are deduplicated first (see
+    :func:`_dedupe_ties`): each frontier entry is the
+    lexicographically-first scheme of its tie group and carries the
+    folded names on :attr:`DesignPoint.aliases`.
 
     Points are scanned in (transistors, gate_delays, -ipc) order: any
     dominator of a point sorts strictly before it, and by transitivity a
@@ -74,7 +124,7 @@ def pareto_frontier(points) -> list[DesignPoint]:
     matters for the enumerated sweep spaces (hundreds to thousands of
     design points).
     """
-    ordered = sorted(points,
+    ordered = sorted(_dedupe_ties(points),
                      key=lambda p: (p.transistors, p.gate_delays, -p.ipc))
     front: list[DesignPoint] = []
     for p in ordered:
@@ -88,7 +138,9 @@ def recommend(points, max_transistors: float | None = None,
     """Best scheme within a hardware budget (the Section 5.2 walk).
 
     Returns the highest-IPC point satisfying both limits, preferring
-    fewer transistors on ties; None if the budget admits nothing.
+    fewer transistors on ties and the lexicographically-first scheme
+    name on exact coordinate ties (matching the frontier's tie dedup);
+    None if the budget admits nothing.
     """
     ok = [
         p for p in points
@@ -97,4 +149,5 @@ def recommend(points, max_transistors: float | None = None,
     ]
     if not ok:
         return None
-    return max(ok, key=lambda p: (p.ipc, -p.transistors, -p.gate_delays))
+    return min(ok, key=lambda p: (-p.ipc, p.transistors, p.gate_delays,
+                                  p.scheme))

@@ -53,6 +53,7 @@ __all__ = [
     "run_sweep",
     "sweep_cells",
     "sweep_experiment_id",
+    "sweep_threads",
 ]
 
 
@@ -156,6 +157,22 @@ def sweep_experiment_id(n_threads: int) -> str:
     return f"sweep{n_threads}"
 
 
+def sweep_threads(experiment: str) -> int | None:
+    """Thread count named by a sweep experiment id, None otherwise.
+
+    Accepts the :func:`sweep_experiment_id` form (``"sweep4"``) plus the
+    bare ``"sweep"`` shorthand (the default 4 threads), so campaign
+    verbs like :meth:`~repro.eval.api.Session.run_matrix` can dispatch
+    sweeps and paper artifacts through one ``experiment`` argument.
+    """
+    if not experiment.startswith("sweep"):
+        return None
+    suffix = experiment[len("sweep"):]
+    if not suffix:
+        return 4
+    return int(suffix) if suffix.isdigit() else None
+
+
 def _resolve_workloads(workloads) -> list:
     if workloads is None:
         return list(WORKLOAD_ORDER)
@@ -190,9 +207,6 @@ def sweep_cells(n_threads: int = 4, workloads=None, *,
             for group in enumerate_candidates(n_threads)]
 
 
-def _point_dict(p) -> dict:
-    return {"scheme": p.scheme, "ipc": p.ipc,
-            "transistors": p.transistors, "gate_delays": p.gate_delays}
 
 
 def run_sweep(n_threads: int = 4, workloads=None, config=None, machine=None,
@@ -291,6 +305,13 @@ def run_sweep(n_threads: int = 4, workloads=None, config=None, machine=None,
         "frontier (*) = no scheme has >= IPC and <= transistors and "
         "<= gate delays with one strict",
     ]
+    folded = {p.scheme: p.aliases for p in front if p.aliases}
+    if folded:
+        notes.append(
+            "equal-coordinate frontier ties folded into the "
+            "lexicographically-first scheme: "
+            + "; ".join(f"{rep} ({', '.join(names)})"
+                        for rep, names in sorted(folded.items())))
     if budget_transistors is not None or budget_gate_delays is not None:
         budget = ", ".join(
             f"{label} <= {value:g}" for label, value in
@@ -306,13 +327,14 @@ def run_sweep(n_threads: int = 4, workloads=None, config=None, machine=None,
     meta = {
         "threads": n_threads,
         "workloads": wls,
+        "machine": machine.axes(),
         "n_schemes": len(all_members),
         "n_semantics": len(groups),
         "groups": {g.canonical: list(g.members) for g in groups},
         "avg_ipc": {labels[g.canonical]: avg_ipc[labels[g.canonical]]
                     for g in groups},
-        "frontier": [_point_dict(p) for p in front],
-        "recommendation": (_point_dict(pick) if pick is not None else None),
+        "frontier": [p.to_dict() for p in front],
+        "recommendation": (pick.to_dict() if pick is not None else None),
         "budget": {"transistors": budget_transistors,
                    "gate_delays": budget_gate_delays},
     }

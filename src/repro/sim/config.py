@@ -43,11 +43,18 @@ class SimConfig:
     engine: str = "fast"
 
     def scaled(self, factor: float) -> "SimConfig":
-        """Scale run length (quota + slice together) by ``factor``."""
+        """Scale run length (quota + slice + warmup together) by ``factor``.
+
+        Warmup scales with the same factor as the measured quota so the
+        warmup:measurement ratio is scale-invariant — ``scaled(0.04)``
+        warms 80 instructions before an 800-instruction measurement, not
+        the unscaled 2000 (which would out-run the measurement itself).
+        """
         return replace(
             self,
             timeslice=max(1, int(self.timeslice * factor)),
             instr_limit=max(1, int(self.instr_limit * factor)),
+            warmup_instrs=int(self.warmup_instrs * factor),
         )
 
 

@@ -18,6 +18,7 @@ identically whether the core runs the reference or the fast engine.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass
 
 __all__ = ["Multitasker", "RunResult"]
@@ -81,13 +82,30 @@ class Multitasker:
         statistic (caches stay warm) - the scaled-down equivalent of the
         paper's 100M-instruction runs, where compulsory misses are noise.
         ``max_cycles`` is a safety net for tests; production runs rely on
-        the instruction quota like the paper does.
+        the instruction quota like the paper does.  It bounds the
+        *measured* window only: warmup cycles are never charged against
+        it, so ``warmup_instrs=1000, max_cycles=500`` measures exactly
+        500 post-warmup cycles instead of silently measuring none.
+
+        A :class:`RuntimeWarning` is issued when the warmup cycle budget
+        runs out before ``warmup_instrs`` instructions issue (caches are
+        then under-warmed) and when the measured window ends with zero
+        issued operations (IPC would otherwise read 0.0 with no hint
+        that nothing was measured).
         """
         core = self.core
         running = self.threads[: core.n_ports]
         core.set_contexts(running)
+        if max_cycles is not None and max_cycles <= 0:
+            raise ValueError(f"max_cycles must be >= 1, got {max_cycles}")
         if warmup_instrs > 0:
-            core.run(64 * warmup_instrs + 1024, warmup_instrs)
+            reason = core.run(64 * warmup_instrs + 1024, warmup_instrs)
+            if reason != "limit":
+                warnings.warn(
+                    f"warmup cycle budget exhausted before any thread "
+                    f"issued {warmup_instrs} instructions; caches may be "
+                    f"under-warmed",
+                    RuntimeWarning, stacklevel=2)
             core.stats.reset()
             for t in self.threads:
                 t.issued_instrs = 0
@@ -98,20 +116,31 @@ class Multitasker:
             for c in (core.icache, core.dcache):
                 c.hits = 0
                 c.misses = 0
+        # measurement-window origin: core.cycle keeps counting through
+        # warmup (thread stall timestamps are absolute), so the window
+        # is measured relative to this point, never against the total.
+        start = core.cycle
         while True:
             budget = self.timeslice
             if max_cycles is not None:
-                budget = min(budget, max_cycles - core.cycle)
+                budget = min(budget, max_cycles - (core.cycle - start))
                 if budget <= 0:
                     break
             reason = core.run(budget, instr_limit)
             if reason == "limit":
                 break
-            if max_cycles is not None and core.cycle >= max_cycles:
+            if max_cycles is not None and core.cycle - start >= max_cycles:
                 break
             running = self._pick(running)
             core.set_contexts(running)
             core.stats.context_switches += 1
+        if core.stats.ops == 0:
+            warnings.warn(
+                f"empty measurement window: {core.stats.cycles} cycles "
+                f"measured after warmup and no operations issued "
+                f"(IPC reads 0.0); raise max_cycles or lower "
+                f"warmup_instrs",
+                RuntimeWarning, stacklevel=2)
         return RunResult(
             stats=core.stats,
             threads=self.threads,

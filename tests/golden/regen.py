@@ -12,11 +12,15 @@ Regenerate only when an intentional change invalidates the corpus::
     PYTHONPATH=src python tests/golden/regen.py
 
 then review the diff like any other code change: the new bytes are the
-new contract.
+new contract.  ``--out DIR`` writes the corpus somewhere else instead —
+CI regenerates into a temp directory and diffs it against this one, so
+a change that silently invalidates the corpus (without this script
+having been re-run) fails the drift guard.
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import sys
 
@@ -32,19 +36,21 @@ GOLDEN_EXPERIMENTS = ("table1", "fig4", "fig6", "fig10")
 GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
 
 
-def golden_path(name: str) -> str:
-    return os.path.join(GOLDEN_DIR, f"{name}.json")
+def golden_path(name: str, directory: str | None = None) -> str:
+    return os.path.join(directory or GOLDEN_DIR, f"{name}.json")
 
 
-def regenerate(engine: str = "fast") -> list:
+def regenerate(engine: str = "fast", out_dir: str | None = None) -> list:
     """Write the corpus files; returns the paths written."""
-    from repro.eval import default_config, run_experiment
+    from repro.eval import Session, default_config
 
-    config = default_config(GOLDEN_SCALE, engine=engine)
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+    session = Session(config=default_config(GOLDEN_SCALE, engine=engine))
     paths = []
     for name in GOLDEN_EXPERIMENTS:
-        result, _grid = run_experiment(name, config)
-        path = golden_path(name)
+        result = session.run(name)
+        path = golden_path(name, out_dir)
         with open(path, "w") as f:
             f.write(result.to_json())
         paths.append(path)
@@ -52,6 +58,14 @@ def regenerate(engine: str = "fast") -> list:
 
 
 if __name__ == "__main__":
-    for p in regenerate():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default=None, metavar="DIR",
+                    help="write the corpus here instead of tests/golden/ "
+                         "(created if missing)")
+    ap.add_argument("--engine", default="fast",
+                    help="simulation engine (the corpus is engine-agnostic"
+                         "; both must produce identical bytes)")
+    args = ap.parse_args()
+    for p in regenerate(engine=args.engine, out_dir=args.out):
         print(f"wrote {p}")
     sys.exit(0)

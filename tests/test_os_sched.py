@@ -1,10 +1,14 @@
 """Multitasking OS model tests."""
 
+import warnings
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.arch import paper_machine
 from repro.merge import get_scheme
-from repro.sim import MTCore, Multitasker, ThreadState
+from repro.sim import MTCore, Multitasker, SimStats, ThreadState
 from repro.sim.cache import PerfectCache
 from tests.conftest import build_saxpy
 from repro.compiler import compile_kernel
@@ -77,6 +81,89 @@ class TestScheduling:
         tasker, core = _tasker(n_threads=2, scheme="1S")
         pick = tasker._pick(tasker.threads)
         assert sorted(t.sw_id for t in pick) == [0, 1]
+
+
+class _StubCore:
+    """A core whose run() burns cycles but never issues or finishes —
+    drives the scheduler's warning paths deterministically."""
+
+    def __init__(self, n_ports=1):
+        self.n_ports = n_ports
+        self.cycle = 0
+        self.stats = SimStats()
+        self.icache = PerfectCache()
+        self.dcache = PerfectCache()
+
+    def set_contexts(self, threads):
+        pass
+
+    def run(self, max_cycles, instr_limit=None):
+        self.cycle += max_cycles
+        self.stats.cycles += max_cycles
+        return "timeslice"
+
+
+class TestMeasurementWindow:
+    """max_cycles bounds the *measured* window; warmup never eats it."""
+
+    def test_warmup_does_not_consume_max_cycles(self):
+        """Regression: warmup_instrs=1000, max_cycles=500 used to
+        measure 0 cycles and silently report IPC 0.0."""
+        tasker, core = _tasker()
+        res = tasker.run(instr_limit=10**9, max_cycles=500,
+                         warmup_instrs=1_000)
+        assert core.stats.cycles == 500
+        assert res.ipc > 0.0
+
+    def test_window_identical_with_and_without_warmup(self):
+        windows = []
+        for w in (0, 300):
+            tasker, core = _tasker()
+            tasker.run(instr_limit=10**9, max_cycles=400, warmup_instrs=w)
+            windows.append(core.stats.cycles)
+        assert windows == [400, 400]
+
+    def test_nonpositive_max_cycles_rejected(self):
+        tasker, _core = _tasker()
+        with pytest.raises(ValueError, match="max_cycles"):
+            tasker.run(instr_limit=100, max_cycles=0)
+
+    def test_underwarmed_run_warns(self):
+        """The warmup call's return reason is checked: an exhausted
+        warmup cycle budget can no longer silently under-warm."""
+        core = _StubCore()
+        tasker = Multitasker(core, _threads(1), timeslice=100)
+        with pytest.warns(RuntimeWarning, match="under-warmed"):
+            tasker.run(instr_limit=100, max_cycles=50, warmup_instrs=10)
+
+    def test_empty_measurement_window_warns(self):
+        core = _StubCore()
+        tasker = Multitasker(core, _threads(1), timeslice=100)
+        with pytest.warns(RuntimeWarning, match="empty measurement"):
+            res = tasker.run(instr_limit=100, max_cycles=50)
+        assert res.ipc == 0.0
+
+    @given(warmup=st.integers(min_value=0, max_value=300),
+           max_cycles=st.integers(min_value=1, max_value=3_000))
+    @settings(max_examples=25, deadline=None)
+    def test_cycles_equal_post_warmup_window(self, warmup, max_cycles):
+        """stats.cycles is exactly the post-warmup measured window:
+        min(unbounded window, max_cycles) — and IPC is never *silently*
+        0.0 when the window is non-empty."""
+        ref_tasker, ref_core = _tasker(seed=7)
+        ref_tasker.run(instr_limit=400, warmup_instrs=warmup)
+        unbounded = ref_core.stats.cycles
+
+        tasker, core = _tasker(seed=7)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            res = tasker.run(instr_limit=400, max_cycles=max_cycles,
+                             warmup_instrs=warmup)
+        assert core.stats.cycles == min(unbounded, max_cycles)
+        assert core.stats.cycles > 0
+        if res.ipc == 0.0:
+            assert any(issubclass(w.category, RuntimeWarning)
+                       for w in caught)
 
 
 class TestWarmup:

@@ -75,6 +75,38 @@ class TestFrontier:
         assert costs == sorted(costs)
 
 
+class TestTieDedup:
+    def test_exact_duplicates_fold_to_lexicographic_first(self):
+        tied = [DesignPoint("b", 5.0, 100, 10),
+                DesignPoint("a", 5.0, 100, 10),
+                DesignPoint("c", 5.0, 100, 10)]
+        front = pareto_frontier(tied)
+        assert len(front) == 1
+        assert front[0].scheme == "a"
+        assert front[0].aliases == ("b", "c")
+
+    def test_distinct_coordinates_not_folded(self):
+        points = [DesignPoint("a", 5.0, 100, 10),
+                  DesignPoint("b", 6.0, 200, 10)]
+        front = pareto_frontier(points)
+        assert {p.scheme for p in front} == {"a", "b"}
+        assert all(p.aliases == () for p in front)
+
+    def test_dominated_duplicates_drop_together(self):
+        points = [DesignPoint("a", 5.0, 100, 10),
+                  DesignPoint("x", 4.0, 200, 12),
+                  DesignPoint("y", 4.0, 200, 12)]
+        front = pareto_frontier(points)
+        assert [p.scheme for p in front] == ["a"]
+
+    def test_aliases_excluded_from_equality(self):
+        plain = DesignPoint("a", 5.0, 100, 10)
+        folded = DesignPoint("a", 5.0, 100, 10, aliases=("b",))
+        assert plain == folded
+        assert plain in pareto_frontier([plain, DesignPoint("b", 5.0, 100,
+                                                            10)])
+
+
 #: arbitrary design planes; tight value ranges force frequent ties and
 #: duplicates, the edge cases dominance reasoning gets wrong.
 _POINTS = st.lists(
@@ -92,6 +124,10 @@ _POINTS = st.lists(
 _BUDGET = st.one_of(st.none(), st.integers(min_value=0, max_value=60))
 
 
+def _coords(p):
+    return (p.ipc, p.transistors, p.gate_delays)
+
+
 class TestFrontierProperties:
     @given(points=_POINTS)
     def test_frontier_contains_no_dominated_point(self, points):
@@ -100,24 +136,59 @@ class TestFrontierProperties:
             assert not any(q.dominates(p) for q in points)
 
     @given(points=_POINTS)
-    def test_every_off_frontier_point_is_dominated(self, points):
+    def test_every_off_frontier_point_is_dominated_or_folded(self, points):
         """Completeness: whatever the fast scan dropped really is
-        dominated by some frontier member."""
+        dominated by some frontier member — or is an exact coordinate
+        tie folded into one (recorded among its aliases)."""
         front = pareto_frontier(points)
         for p in points:
-            if p not in front:
+            if p in front:
+                continue
+            twin = next((q for q in front if _coords(q) == _coords(p)), None)
+            if twin is not None:
+                assert twin.scheme < p.scheme
+                assert p.scheme in twin.aliases
+            else:
                 assert any(q.dominates(p) for q in front), p
 
     @given(points=_POINTS)
     def test_matches_naive_all_pairs_frontier(self, points):
+        """The fast scan equals the naive frontier after the same tie
+        dedup: one representative (lexicographically-first scheme) per
+        exact coordinate."""
         naive = [p for p in points
                  if not any(q.dominates(p) for q in points)]
+        deduped = {}
+        for p in naive:
+            best = deduped.get(_coords(p))
+            if best is None or p.scheme < best.scheme:
+                deduped[_coords(p)] = p
         assert sorted(pareto_frontier(points),
                       key=lambda p: (p.transistors, -p.ipc, p.gate_delays,
                                      p.scheme)) \
-            == sorted(naive,
+            == sorted(deduped.values(),
                       key=lambda p: (p.transistors, -p.ipc, p.gate_delays,
                                      p.scheme))
+
+    @given(points=_POINTS)
+    def test_aliases_cover_every_folded_tie(self, points):
+        """Every input scheme appears on the frontier, among some
+        frontier member's aliases, or is dominated."""
+        front = pareto_frontier(points)
+        reachable = {p.scheme for p in front}
+        reachable.update(a for p in front for a in p.aliases)
+        for p in points:
+            if p.scheme not in reachable:
+                assert any(q.dominates(p) for q in front), p
+
+    @given(points=_POINTS)
+    def test_frontier_is_idempotent(self, points):
+        """Re-running the frontier over itself changes nothing (the tie
+        dedup folds aliases without losing them)."""
+        front = pareto_frontier(points)
+        again = pareto_frontier(front)
+        assert again == front
+        assert [p.aliases for p in again] == [p.aliases for p in front]
 
 
 class TestRecommendProperties:

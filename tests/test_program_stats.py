@@ -107,6 +107,20 @@ class TestSimConfig:
         tiny = SimConfig(instr_limit=10, timeslice=10).scaled(0.001)
         assert tiny.instr_limit >= 1 and tiny.timeslice >= 1
 
+    def test_scaled_scales_warmup_with_measurement(self):
+        """Regression: scaled(0.04) used to keep the full 2000-instr
+        warmup in front of an 800-instruction measurement."""
+        cfg = SimConfig(instr_limit=20_000, timeslice=4_000,
+                        warmup_instrs=2_000)
+        small = cfg.scaled(0.04)
+        assert small.instr_limit == 800
+        assert small.warmup_instrs == 80
+        assert small.warmup_instrs / small.instr_limit == \
+            cfg.warmup_instrs / cfg.instr_limit
+
+    def test_scaled_keeps_zero_warmup_zero(self):
+        assert SimConfig(warmup_instrs=0).scaled(0.5).warmup_instrs == 0
+
     def test_frozen(self):
         cfg = SimConfig()
         with pytest.raises(Exception):
