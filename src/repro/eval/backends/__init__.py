@@ -1,30 +1,35 @@
 """Pluggable result-store backends behind :class:`~repro.eval.store.RunStore`.
 
-Two implementations ship: :class:`DirectoryBackend` (the original
-run-directory format, byte-identical on disk) and :class:`SQLiteBackend`
-(one database file per campaign).  Both satisfy the
-:class:`StoreBackend` protocol, are selected by URL — ``dir:PATH`` /
-``sqlite:PATH.db``, with bare paths meaning ``dir:`` — and interoperate:
+Three implementations ship: :class:`DirectoryBackend` (the original
+run-directory format, byte-identical on disk), :class:`SQLiteBackend`
+(one database file per campaign) and :class:`QueueBackend` (a SQLite
+store plus a worker-pull queue of claimable cells for fleet campaigns).
+All satisfy the :class:`StoreBackend` protocol, are selected by URL —
+``dir:PATH`` / ``sqlite:PATH.db`` / ``queue:PATH.db``, with bare paths
+meaning ``dir:`` — and interoperate:
 :func:`~repro.eval.store.merge_runs` unions cells across backends, and a
 campaign started in one backend can be merged into, and resumed from,
-the other.
+any other.
 """
 
 from __future__ import annotations
 
 from repro.eval.backends.base import StoreBackend, parse_store_url
 from repro.eval.backends.directory import DirectoryBackend
+from repro.eval.backends.queue import QueueBackend
 from repro.eval.backends.sqlite import SQLiteBackend
 
 __all__ = [
     "DirectoryBackend",
+    "QueueBackend",
     "SQLiteBackend",
     "StoreBackend",
     "open_backend",
     "parse_store_url",
 ]
 
-_BACKENDS = {"dir": DirectoryBackend, "sqlite": SQLiteBackend}
+_BACKENDS = {"dir": DirectoryBackend, "sqlite": SQLiteBackend,
+             "queue": QueueBackend}
 
 
 def open_backend(url: str) -> StoreBackend:

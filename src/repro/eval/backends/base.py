@@ -13,6 +13,7 @@ Backends are selected by URL::
 
     dir:results/         directory backend (also the default for bare paths)
     sqlite:campaign.db   SQLite backend (one file per campaign)
+    queue:campaign.db    SQLite backend + a worker-pull cell queue
 
 ``repro-eval --store URL`` and ``Session(store=URL)`` both route through
 :func:`repro.eval.backends.open_backend`.
@@ -28,7 +29,7 @@ from typing import Protocol, runtime_checkable
 __all__ = ["StoreBackend", "atomic_write_text", "parse_store_url"]
 
 #: registered URL schemes -> backend kind.
-SCHEMES = ("dir", "sqlite")
+SCHEMES = ("dir", "sqlite", "queue")
 
 #: something that *looks like* a URL scheme prefix (>= 2 chars, so a
 #: one-letter Windows drive prefix never matches).
@@ -38,7 +39,8 @@ _SCHEME_RE = re.compile(r"^([A-Za-z][A-Za-z0-9+.-]+):")
 def parse_store_url(url: str) -> tuple[str, str]:
     """Split a store URL into ``(scheme, path)``.
 
-    ``dir:PATH`` and ``sqlite:PATH`` select a backend explicitly; a bare
+    ``dir:PATH``, ``sqlite:PATH`` and ``queue:PATH`` select a backend
+    explicitly; a bare
     path (no scheme prefix) is a directory store, which keeps every
     pre-URL call site (``--out results/``, ``RunStore("results")``)
     meaning exactly what it always meant.  Anything that looks like a

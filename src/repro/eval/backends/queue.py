@@ -1,0 +1,363 @@
+"""Queue store backend: a campaign as a table of claimable cells.
+
+Selected with ``queue:PATH.db``.  A queue store is a
+:class:`~repro.eval.backends.sqlite.SQLiteBackend` — same ``kv`` /
+``cells`` / ``artifacts`` tables, same resume/merge/artifact semantics —
+plus a ``queue`` table that turns the campaign grid into *work items*
+any number of machines can drain concurrently (the PyExperimenter
+model: a database of open experiments that workers pull from, instead
+of a static up-front ``--shard i/N`` split that strands a slice when
+one machine dies)::
+
+    queue(experiment, key,            -- cell identity (= cells table key)
+          cell TEXT,                  -- serialized Cell fields (JSON)
+          status TEXT,                -- open | claimed | done | failed
+          worker TEXT,                -- last claimant id
+          attempt INTEGER,            -- claim count (crash forensics)
+          error TEXT,                 -- failure reason, if any
+          heartbeat REAL,             -- unix time of the claimant's pulse
+          claimed_at REAL)
+
+**Claiming is crash-safe.**  A claim is one ``BEGIN IMMEDIATE``
+transaction — SQLite takes the write lock before the read, so two
+workers can never select the same open cell — wrapped in an
+``O_CREAT|O_EXCL`` lockfile (``PATH.db.lock``) because SQLite's own
+byte-range locks are unreliable on NFS, where fleet campaigns typically
+share the store.  A worker that dies mid-cell simply stops heartbeating:
+its claim goes *stale* after ``ttl`` seconds and the next claimer
+reclaims the cell (``attempt`` increments), or marks it failed once
+``max_attempts`` claims have been burned.  Nothing a killed worker held
+is ever lost.
+
+Value writes stay compatible with every other backend:
+:meth:`QueueBackend.finish` records the measured value in the ``cells``
+table *and* marks the queue row done in one transaction, and the
+inherited :meth:`save_cells` (used by ``merge_runs`` and by running
+``repro-eval sweep --store queue:...`` directly) marks matching rows
+done as well — so a drained queue reads exactly like a completed run
+store to resume, merge, and assembly paths.
+
+The worker loop, campaign spec and status rendering live in
+:mod:`repro.eval.queue`; this module is persistence + atomic claim
+primitives only (cells cross this boundary as plain dicts, never as
+:class:`~repro.eval.runner.Cell` objects).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+
+from repro.eval.backends.sqlite import _SCHEMA, SQLiteBackend
+
+__all__ = ["QueueBackend", "QUEUE_STATUSES"]
+
+#: every state a queue cell can be in (the lifecycle is documented in
+#: DESIGN.md §8 and docs/OPERATIONS.md).
+QUEUE_STATUSES = ("open", "claimed", "done", "failed")
+
+_QUEUE_SCHEMA = _SCHEMA + """
+CREATE TABLE IF NOT EXISTS queue (
+    experiment TEXT NOT NULL,
+    key TEXT NOT NULL,
+    cell TEXT NOT NULL,
+    status TEXT NOT NULL DEFAULT 'open',
+    worker TEXT,
+    attempt INTEGER NOT NULL DEFAULT 0,
+    error TEXT,
+    heartbeat REAL,
+    claimed_at REAL,
+    PRIMARY KEY (experiment, key)
+);
+CREATE INDEX IF NOT EXISTS queue_by_status ON queue (status);
+"""
+
+
+class _FileLock:
+    """``O_CREAT|O_EXCL`` lockfile serializing queue transactions.
+
+    SQLite's byte-range locks are famously unreliable on NFS; the
+    portable primitive that *is* atomic there is exclusive file
+    creation, so every claiming transaction additionally holds
+    ``PATH.db.lock``.  A lock whose mtime is older than ``stale_after``
+    is presumed to belong to a dead process and is broken (the
+    transactions it guards are short — milliseconds, not cell
+    executions).
+    """
+
+    def __init__(self, path: str, *, stale_after: float = 30.0,
+                 timeout: float = 60.0, poll: float = 0.01):
+        self.path = path
+        self.stale_after = stale_after
+        self.timeout = timeout
+        self.poll = poll
+
+    def __enter__(self) -> "_FileLock":
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(self.path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - os.path.getmtime(self.path)
+                except OSError:
+                    continue  # holder released between open and stat
+                if age > self.stale_after:
+                    try:
+                        os.unlink(self.path)  # break a dead holder's lock
+                    except OSError:
+                        pass
+                    continue
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"could not acquire queue lock {self.path!r} "
+                        f"within {self.timeout}s (held {age:.0f}s; delete "
+                        f"it if the holding process is gone)") from None
+                time.sleep(self.poll)
+            else:
+                with os.fdopen(fd, "w") as f:
+                    f.write(f"{socket.gethostname()}:{os.getpid()} "
+                            f"{time.time():.3f}\n")
+                return self
+
+    def __exit__(self, *exc) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+class QueueBackend(SQLiteBackend):
+    """A SQLite store plus a worker-pull queue of claimable cells."""
+
+    SCHEME = "queue"
+    SCHEMA = _QUEUE_SCHEMA
+    #: autocommit mode: claims issue explicit ``BEGIN IMMEDIATE``.
+    ISOLATION: str | None = None
+
+    def _lock(self) -> _FileLock:
+        return _FileLock(self.path + ".lock")
+
+    def _transaction(self, conn, fn):
+        """Run ``fn(conn)`` inside lockfile + BEGIN IMMEDIATE."""
+        with self._lock():
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                result = fn(conn)
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+            conn.execute("COMMIT")
+            return result
+
+    # -- enqueue ---------------------------------------------------------
+    def enqueue(self, experiment: str, cells: dict[str, dict]) -> int:
+        """Add ``{key: serialized-cell}`` rows as open work items.
+
+        Idempotent: keys already queued are left untouched (their
+        status, attempts and errors survive a re-init), and keys whose
+        value is already recorded in the ``cells`` table are marked
+        done immediately — migrating a partially-complete ``dir:`` /
+        ``sqlite:`` run into a queue enqueues only the remaining work.
+        Returns the number of newly-inserted rows.
+        """
+        conn = self._connect(create=True)
+
+        def txn(conn):
+            inserted = 0
+            for key in sorted(cells):
+                cur = conn.execute(
+                    "INSERT OR IGNORE INTO queue (experiment, key, cell) "
+                    "VALUES (?, ?, ?)",
+                    (experiment, key, json.dumps(cells[key],
+                                                 sort_keys=True)))
+                inserted += cur.rowcount
+            conn.execute(
+                "UPDATE queue SET status = 'done' WHERE experiment = ? "
+                "AND status = 'open' AND key IN "
+                "(SELECT key FROM cells WHERE experiment = ?)",
+                (experiment, experiment))
+            return inserted
+
+        return self._transaction(conn, txn)
+
+    # -- claim / heartbeat / completion ----------------------------------
+    def claim(self, worker: str, *, ttl: float, max_attempts: int = 3,
+              now: float | None = None) -> dict | None:
+        """Atomically claim the next runnable cell for ``worker``.
+
+        Runnable = status ``open``, or ``claimed`` with a heartbeat
+        older than ``ttl`` seconds (the claimant is presumed dead; the
+        cell is *reclaimed* and its ``attempt`` count grows).  Stale
+        claims that already burned ``max_attempts`` claims are marked
+        failed instead of being retried forever.  Returns ``None`` when
+        nothing is runnable, else ``{"experiment", "key", "cell",
+        "attempt"}`` with ``cell`` as the serialized field dict.
+        """
+        conn = self._connect(create=True)
+        now = time.time() if now is None else now
+        stale = now - ttl
+
+        def txn(conn):
+            conn.execute(
+                "UPDATE queue SET status = 'failed', worker = NULL, "
+                "error = 'heartbeat expired after ' || attempt || "
+                "' attempts' WHERE status = 'claimed' AND heartbeat < ? "
+                "AND attempt >= ?", (stale, max_attempts))
+            row = conn.execute(
+                "SELECT experiment, key, cell, attempt FROM queue "
+                "WHERE status = 'open' "
+                "OR (status = 'claimed' AND heartbeat < ?) "
+                "ORDER BY experiment, key LIMIT 1", (stale,)).fetchone()
+            if row is None:
+                return None
+            experiment, key, cell_json, attempt = row
+            conn.execute(
+                "UPDATE queue SET status = 'claimed', worker = ?, "
+                "attempt = ?, heartbeat = ?, claimed_at = ?, error = NULL "
+                "WHERE experiment = ? AND key = ?",
+                (worker, attempt + 1, now, now, experiment, key))
+            return {"experiment": experiment, "key": key,
+                    "cell": json.loads(cell_json), "attempt": attempt + 1}
+
+        return self._transaction(conn, txn)
+
+    def beat(self, worker: str, now: float | None = None) -> None:
+        """Refresh the heartbeat of every cell ``worker`` holds."""
+        conn = self._connect(create=True)
+        conn.execute(
+            "UPDATE queue SET heartbeat = ? WHERE status = 'claimed' "
+            "AND worker = ?",
+            (time.time() if now is None else now, worker))
+        conn.commit()
+
+    def finish(self, experiment: str, key: str, value: float) -> None:
+        """Record a claimed cell's value and mark its row done.
+
+        One transaction: a crash between the value write and the status
+        flip can never leave a value-less done row (the dangerous
+        order); at worst the cell is re-executed, which is idempotent
+        because simulations are deterministic.
+        """
+        conn = self._connect(create=True)
+
+        def txn(conn):
+            conn.execute(
+                "INSERT INTO cells (experiment, key, value) VALUES (?, ?, ?) "
+                "ON CONFLICT (experiment, key) "
+                "DO UPDATE SET value = excluded.value",
+                (experiment, key, value))
+            conn.execute(
+                "UPDATE queue SET status = 'done', error = NULL, "
+                "heartbeat = ? WHERE experiment = ? AND key = ?",
+                (time.time(), experiment, key))
+
+        self._transaction(conn, txn)
+        if experiment in self._known:
+            self._known[experiment][key] = value
+
+    def fail(self, experiment: str, key: str, error: str) -> None:
+        """Mark a claimed cell failed with a diagnostic."""
+        conn = self._connect(create=True)
+        conn.execute(
+            "UPDATE queue SET status = 'failed', error = ?, heartbeat = ? "
+            "WHERE experiment = ? AND key = ?",
+            (error, time.time(), experiment, key))
+        conn.commit()
+
+    # -- recovery / monitoring -------------------------------------------
+    def reset(self, *, failed: bool = True,
+              stale_ttl: float | None = None) -> int:
+        """Return failed (and optionally stale-claimed) cells to open.
+
+        ``stale_ttl`` additionally releases claims whose heartbeat is
+        older than that many seconds — immediate recovery from a known-
+        dead worker without waiting for the next claimer's reaper.
+        Attempts and errors are cleared: a reset is a fresh start.
+        Returns the number of cells reopened.
+        """
+        conn = self._connect(create=True)
+        clauses, params = [], []
+        if failed:
+            clauses.append("status = 'failed'")
+        if stale_ttl is not None:
+            clauses.append("(status = 'claimed' AND "
+                           "(heartbeat IS NULL OR heartbeat < ?))")
+            params.append(time.time() - stale_ttl)
+        if not clauses:
+            return 0
+
+        def txn(conn):
+            cur = conn.execute(
+                "UPDATE queue SET status = 'open', worker = NULL, "
+                "error = NULL, attempt = 0, heartbeat = NULL, "
+                "claimed_at = NULL WHERE " + " OR ".join(clauses), params)
+            return cur.rowcount
+
+        return self._transaction(conn, txn)
+
+    def queue_counts(self) -> dict[str, int]:
+        """Cells per status (every status present, zeros included)."""
+        counts = dict.fromkeys(QUEUE_STATUSES, 0)
+        conn = self._connect(create=False)
+        if conn is None:
+            return counts
+        for status, n in conn.execute(
+                "SELECT status, COUNT(*) FROM queue GROUP BY status"):
+            counts[status] = n
+        return counts
+
+    def queue_rows(self, status: str | None = None) -> list[dict]:
+        """Queue rows (optionally one status), ordered by identity."""
+        conn = self._connect(create=False)
+        if conn is None:
+            return []
+        where = " WHERE status = ?" if status else ""
+        rows = conn.execute(
+            "SELECT experiment, key, status, worker, attempt, error, "
+            "heartbeat, claimed_at FROM queue" + where
+            + " ORDER BY experiment, key",
+            (status,) if status else ()).fetchall()
+        names = ("experiment", "key", "status", "worker", "attempt",
+                 "error", "heartbeat", "claimed_at")
+        return [dict(zip(names, r)) for r in rows]
+
+    # -- campaign spec ----------------------------------------------------
+    def save_campaign(self, spec: dict) -> None:
+        """Persist the campaign spec workers rebuild their context from."""
+        conn = self._connect(create=True)
+        conn.execute(
+            "INSERT INTO kv (key, value) VALUES ('campaign', ?) "
+            "ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+            (json.dumps(spec, indent=2, sort_keys=True),))
+        conn.commit()
+
+    def load_campaign(self) -> dict | None:
+        """The stored campaign spec, or ``None`` before queue-init."""
+        conn = self._connect(create=False)
+        if conn is None:
+            return None
+        row = conn.execute(
+            "SELECT value FROM kv WHERE key = 'campaign'").fetchone()
+        return json.loads(row[0]) if row else None
+
+    # -- StoreBackend writes keep the queue consistent --------------------
+    def save_cells(self, experiment: str, cells: dict[str, float]) -> None:
+        """Value writes from non-worker paths also settle queue rows.
+
+        ``merge_runs`` into a queue (migration) and running an
+        experiment/sweep directly against a ``queue:`` store both land
+        here; marking the matching rows done keeps ``queue-status``
+        truthful under every write path.
+        """
+        super().save_cells(experiment, cells)
+        conn = self._connect(create=True)
+        conn.execute(
+            "UPDATE queue SET status = 'done' WHERE experiment = ? "
+            "AND status IN ('open', 'claimed') AND key IN "
+            "(SELECT key FROM cells WHERE experiment = ?)",
+            (experiment, experiment))
+        conn.commit()

@@ -48,11 +48,24 @@ CREATE TABLE IF NOT EXISTS artifacts (
 
 
 class SQLiteBackend:
-    """One SQLite database as a :class:`~repro.eval.backends.StoreBackend`."""
+    """One SQLite database as a :class:`~repro.eval.backends.StoreBackend`.
+
+    Subclasses may extend :attr:`SCHEMA` with extra tables and override
+    :attr:`SCHEME` / :attr:`ISOLATION` (the queue backend runs in
+    autocommit mode so it can issue explicit ``BEGIN IMMEDIATE``
+    claiming transactions; ``commit()`` is then a no-op).
+    """
+
+    SCHEME = "sqlite"
+    SCHEMA = _SCHEMA
+    #: sqlite3 ``isolation_level``: "" = implicit deferred transactions.
+    ISOLATION: str | None = ""
+    #: seconds to wait on a locked database before erroring.
+    TIMEOUT = 30.0
 
     def __init__(self, path: str):
         self.path = str(path)
-        self.url = f"sqlite:{self.path}"
+        self.url = f"{self.SCHEME}:{self.path}"
         self._conn: sqlite3.Connection | None = None
         #: per-experiment mirror of what the database already holds, so a
         #: complete-mapping save only upserts the changed rows.
@@ -65,8 +78,9 @@ class SQLiteBackend:
             parent = os.path.dirname(self.path)
             if create and parent:
                 os.makedirs(parent, exist_ok=True)
-            self._conn = sqlite3.connect(self.path)
-            self._conn.executescript(_SCHEMA)
+            self._conn = sqlite3.connect(self.path, timeout=self.TIMEOUT,
+                                         isolation_level=self.ISOLATION)
+            self._conn.executescript(self.SCHEMA)
             self._conn.commit()
         return self._conn
 

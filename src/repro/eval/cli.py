@@ -1,6 +1,6 @@
 """Command-line entry point: regenerate paper artifacts, sweep designs.
 
-Four subcommands::
+Artifact and campaign subcommands::
 
     repro-eval run --experiment fig10 --scale 0.5
     repro-eval run -e all --out results/ --jobs 4
@@ -21,6 +21,16 @@ Four subcommands::
                --store sqlite:scaling.db         # scaling campaign
     repro-eval matrix -e table1 --machines 4c3w,4c5w  # width variants
 
+Queue campaigns (worker-pull alternative to static ``--shard``; see
+docs/OPERATIONS.md for the operator's guide)::
+
+    repro-eval queue-init queue:camp.db -e sweep3      # grid -> open cells
+    repro-eval worker queue:camp.db                    # claim-execute loop
+    repro-eval queue-status queue:camp.db              # progress + workers
+    repro-eval reset-failed queue:camp.db              # reopen failed cells
+    repro-eval sweep -t 3 --store queue:camp.db        # drained queue ->
+                                                       #   artifact, 0 sims
+
 For backward compatibility a bare flag list (``repro-eval -e fig10``)
 runs the ``run`` subcommand.
 
@@ -30,10 +40,12 @@ the paper used 100M - see DESIGN.md section 3 on scaling).
 missing) holding the manifest, per-cell values for resume and
 per-experiment JSON artifacts.  ``--store`` accepts a backend URL —
 ``dir:PATH`` (a run directory, which also hosts the shared on-disk
-compiled-program cache) or ``sqlite:PATH.db`` (one database file);
+compiled-program cache), ``sqlite:PATH.db`` (one database file) or
+``queue:PATH.db`` (a SQLite store plus a worker-pull cell queue);
 ``--out``/``--resume`` take bare directory paths or the same URLs.
 Giving several of them with different locations is an error.  Every
-subcommand drives one :class:`repro.eval.api.Session` underneath.
+simulating subcommand drives one :class:`repro.eval.api.Session`
+underneath.
 """
 
 from __future__ import annotations
@@ -50,6 +62,13 @@ from repro.eval.experiments import (
     ALL_EXPERIMENTS,
     default_config,
     experiment_cells,
+)
+from repro.eval.queue import (
+    CampaignSpec,
+    init_queue,
+    queue_status,
+    reset_failed,
+    run_worker,
 )
 from repro.eval.store import (
     StoreMismatchError,
@@ -97,9 +116,10 @@ def _add_sim_args(ap: argparse.ArgumentParser) -> None:
                          "cells are skipped (implies --out RUN_DIR)")
     ap.add_argument("--store", default=None, metavar="URL",
                     help="run store by backend URL: dir:PATH (run "
-                         "directory; the default for bare paths) or "
-                         "sqlite:PATH.db (one database file); behaves "
-                         "like --out + --resume combined")
+                         "directory; the default for bare paths), "
+                         "sqlite:PATH.db (one database file) or "
+                         "queue:PATH.db (a drained queue campaign); "
+                         "behaves like --out + --resume combined")
 
 
 def _resolve_store_url(args) -> str | None:
@@ -411,8 +431,170 @@ def _cmd_merge(argv) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# queue-init / worker / queue-status / reset-failed — queue campaigns
+# ----------------------------------------------------------------------
+def _queue_url(arg: str) -> str:
+    """Normalize the positional QUEUE argument to a ``queue:`` URL.
+
+    A bare ``camp.db`` means ``queue:camp.db`` here — these verbs only
+    ever operate on queues, so the prefix would be pure ceremony.
+    """
+    try:
+        scheme, _ = parse_store_url(arg)
+    except ValueError as exc:
+        raise _CliError(str(exc)) from None
+    if scheme == "dir" and not arg.startswith("dir:"):
+        return f"queue:{arg}"
+    if scheme != "queue":
+        raise _CliError(
+            f"{arg!r} is a {scheme}: store; queue verbs need a "
+            f"queue:PATH.db URL")
+    return arg
+
+
+def _add_queue_arg(ap: argparse.ArgumentParser) -> None:
+    ap.add_argument("queue", metavar="QUEUE",
+                    help="queue store: queue:PATH.db (bare paths are "
+                         "taken as queue databases here)")
+
+
+def _cmd_queue_init(argv) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-eval queue-init",
+        description="Turn an experiment or sweep grid into a queue of "
+                    "claimable cells that any number of `repro-eval "
+                    "worker` processes drain; idempotent, and cells "
+                    "merged in from previous runs start out done",
+    )
+    _add_queue_arg(ap)
+    ap.add_argument("--experiment", "-e", default="sweep4",
+                    help="experiment id (table1, fig10, ...) or sweep id "
+                         "('sweepN'; default sweep4)")
+    ap.add_argument("--workloads", default=None,
+                    help="comma-separated Table 2 workloads for sweep "
+                         "campaigns (default: all nine)")
+    ap.add_argument("--machines", default=None,
+                    help="comma-separated machine presets for a matrix "
+                         "campaign (default: the paper machine only)")
+    ap.add_argument("--scale", type=float, default=1.0,
+                    help="simulation length multiplier (default 1.0)")
+    ap.add_argument("--engine", default="fast", choices=sorted(ENGINES),
+                    help="simulation engine for every cell")
+    args = ap.parse_args(argv)
+
+    workloads = None
+    if args.workloads:
+        workloads = tuple(w.strip().upper()
+                          for w in args.workloads.split(",") if w.strip())
+    machines = ()
+    if args.machines:
+        machines = tuple(t.strip()
+                         for t in args.machines.split(",") if t.strip())
+    try:
+        spec = CampaignSpec(experiment=args.experiment, scale=args.scale,
+                            engine=args.engine, workloads=workloads,
+                            machines=machines)
+        status = init_queue(_queue_url(args.queue), spec)
+    except (StoreMismatchError, ValueError) as exc:
+        raise _CliError(str(exc)) from None
+    print(f"enqueued {status.enqueued} new cells")
+    print(status.render())
+    return 0
+
+
+def _cmd_worker(argv) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-eval worker",
+        description="Drain a queue campaign: claim open (or abandoned) "
+                    "cells one at a time, simulate them, write the "
+                    "results back, heartbeat.  Run as many of these as "
+                    "you have cores/machines; they coordinate through "
+                    "the queue alone",
+    )
+    _add_queue_arg(ap)
+    ap.add_argument("--id", default=None, metavar="WORKER_ID",
+                    help="worker identity shown in queue-status "
+                         "(default: host-pid-suffix)")
+    ap.add_argument("--ttl", type=float, default=300.0,
+                    help="seconds without a heartbeat before another "
+                         "worker's claim counts as abandoned (default "
+                         "300; must exceed the slowest single cell)")
+    ap.add_argument("--poll", type=float, default=0.5,
+                    help="seconds between claim retries while waiting "
+                         "on in-flight cells (default 0.5)")
+    ap.add_argument("--max-cells", type=int, default=None,
+                    help="stop after this many cells (default: drain)")
+    ap.add_argument("--max-attempts", type=int, default=3,
+                    help="claims a cell may burn before it is marked "
+                         "failed (default 3)")
+    ap.add_argument("--no-wait", action="store_true",
+                    help="exit when nothing is claimable instead of "
+                         "waiting for other workers' in-flight cells")
+    args = ap.parse_args(argv)
+
+    t0 = time.time()
+    try:
+        report = run_worker(_queue_url(args.queue), worker_id=args.id,
+                            ttl=args.ttl, poll=args.poll,
+                            max_cells=args.max_cells,
+                            max_attempts=args.max_attempts,
+                            wait=not args.no_wait, progress=print)
+    except (StoreMismatchError, ValueError) as exc:
+        raise _CliError(str(exc)) from None
+    print(f"worker {report.worker}: {report.executed} cells executed "
+          f"({report.reclaimed} reclaimed), {report.failed} failed "
+          f"[{time.time() - t0:.1f}s]")
+    return 1 if report.failed else 0
+
+
+def _cmd_queue_status(argv) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-eval queue-status",
+        description="Report a queue campaign's progress: cell counts "
+                    "by status, live workers and their heartbeat ages, "
+                    "stale claims, failed cells",
+    )
+    _add_queue_arg(ap)
+    ap.add_argument("--ttl", type=float, default=300.0,
+                    help="heartbeat age that counts as stale in the "
+                         "report (default 300)")
+    args = ap.parse_args(argv)
+    try:
+        status = queue_status(_queue_url(args.queue), ttl=args.ttl)
+    except (StoreMismatchError, ValueError) as exc:
+        raise _CliError(str(exc)) from None
+    print(status.render())
+    return 0
+
+
+def _cmd_reset_failed(argv) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-eval reset-failed",
+        description="Return failed cells (and, with --stale-ttl, stale "
+                    "claims of dead workers) to open so the next worker "
+                    "retries them with a fresh attempt budget",
+    )
+    _add_queue_arg(ap)
+    ap.add_argument("--stale-ttl", type=float, default=None,
+                    metavar="SECONDS",
+                    help="also reopen claimed cells whose heartbeat is "
+                         "older than this (0 releases every claim — "
+                         "only safe once the claiming workers are dead)")
+    args = ap.parse_args(argv)
+    try:
+        reopened = reset_failed(_queue_url(args.queue),
+                                stale_ttl=args.stale_ttl)
+    except (StoreMismatchError, ValueError) as exc:
+        raise _CliError(str(exc)) from None
+    print(f"reopened {reopened} cells")
+    return 0
+
+
 _COMMANDS = {"run": _cmd_run, "sweep": _cmd_sweep, "merge": _cmd_merge,
-             "matrix": _cmd_matrix}
+             "matrix": _cmd_matrix, "queue-init": _cmd_queue_init,
+             "worker": _cmd_worker, "queue-status": _cmd_queue_status,
+             "reset-failed": _cmd_reset_failed}
 
 
 def main(argv=None) -> int:

@@ -533,14 +533,18 @@ def run_experiment(name: str, config: SimConfig | None = None, machine=None,
                    *, jobs: int = 1, store=None,
                    fig10: ExperimentResult | None = None
                    ) -> tuple[ExperimentResult, GridResult | None]:
-    """Run one experiment through the grid layer.
+    """Run one experiment by id through a throwaway default Session.
 
     Returns ``(result, grid)`` where ``grid`` reports executed/reused
     cell counts (``None`` for static experiments, and for fig11/fig12
-    when a precomputed ``fig10`` result is supplied).
+    when a precomputed ``fig10`` result is supplied).  Unlike a real
+    session, nothing is cached across calls — each invocation binds a
+    fresh session, so fig11 after fig10 re-simulates the grid unless a
+    ``store`` is given.
 
     .. deprecated:: use ``Session(...).run(name)`` (the grid is on
-       ``session.last_grid``).
+       ``session.last_grid``, and the session's result cache makes
+       derived artifacts free).
     """
     _warn_once("run_experiment", 'Session(...).run(name)')
     session = _session(config, machine, jobs=jobs, store=store)

@@ -1,10 +1,12 @@
-"""Store-backend parity: directory and SQLite must be interchangeable.
+"""Store-backend parity: directory, SQLite and queue are interchangeable.
 
-Property tests pin that both backends round-trip identical cell
+Property tests pin that every backend round-trips identical cell
 values/manifests and that :func:`merge_runs` across mixed backends
 equals the single-backend result; the campaign tests pin the acceptance
 path — a two-shard sweep stored in SQLite merges to the same frontier
-as the unsharded directory-backend run.
+as the unsharded directory-backend run.  The queue backend's *queue*
+semantics (claiming, heartbeats, reclaim) are tested in
+``tests/test_queue.py``; here it only has to behave as a plain store.
 """
 
 import json
@@ -23,7 +25,12 @@ from repro.eval import (
     open_store,
     parse_store_url,
 )
-from repro.eval.backends import DirectoryBackend, SQLiteBackend, open_backend
+from repro.eval.backends import (
+    DirectoryBackend,
+    QueueBackend,
+    SQLiteBackend,
+    open_backend,
+)
 from repro.sim import SimConfig
 
 TINY = SimConfig(instr_limit=800, timeslice=400, warmup_instrs=200)
@@ -56,10 +63,12 @@ _MANIFESTS = st.fixed_dictionaries({
 def _backend(kind: str, tmp_path, name: str):
     if kind == "dir":
         return DirectoryBackend(str(tmp_path / name))
+    if kind == "queue":
+        return QueueBackend(str(tmp_path / f"{name}.qdb"))
     return SQLiteBackend(str(tmp_path / f"{name}.db"))
 
 
-@pytest.mark.parametrize("kind", ["dir", "sqlite"])
+@pytest.mark.parametrize("kind", ["dir", "sqlite", "queue"])
 class TestBackendRoundTrip:
     @settings(max_examples=25, deadline=None)
     @given(campaign=_CAMPAIGNS)
@@ -157,6 +166,7 @@ class TestUrls:
         assert parse_store_url("results") == ("dir", "results")
         assert parse_store_url("dir:results") == ("dir", "results")
         assert parse_store_url("sqlite:c.db") == ("sqlite", "c.db")
+        assert parse_store_url("queue:c.db") == ("queue", "c.db")
         with pytest.raises(ValueError, match="empty path"):
             parse_store_url("sqlite:")
 
@@ -175,6 +185,8 @@ class TestUrls:
                           DirectoryBackend)
         assert isinstance(open_backend(f"sqlite:{tmp_path / 's.db'}"),
                           SQLiteBackend)
+        assert isinstance(open_backend(f"queue:{tmp_path / 'q.db'}"),
+                          QueueBackend)
 
     def test_runstore_accepts_urls(self, tmp_path):
         store = RunStore.open_or_create(f"sqlite:{tmp_path / 'c.db'}")
