@@ -98,6 +98,10 @@ class _SessionStore:
         if self._store is not None:
             self._store.record_cell(experiment, key, value)
 
+    def record_cell_meta(self, experiment: str, key: str, meta: dict) -> None:
+        if self._store is not None:
+            self._store.record_cell_meta(experiment, key, meta)
+
     def update_manifest(self, experiment: str, **fields) -> None:
         if self._store is not None:
             self._store.update_manifest(experiment, **fields)

@@ -122,6 +122,18 @@ class StoreBackend(Protocol):
         """Experiments with recorded cell values, sorted by name."""
         ...
 
+    def save_cell_meta(self, experiment: str, key: str, meta: dict) -> None:
+        """Upsert diagnostic metadata for one cell (engine stats etc.).
+
+        Metadata is best-effort provenance — never part of a cell's
+        value or the resume contract; losing it costs nothing but a
+        diagnostic."""
+        ...
+
+    def load_cell_meta(self, experiment: str) -> dict[str, dict]:
+        """Recorded per-cell metadata of one experiment (may be empty)."""
+        ...
+
     def save_artifact(self, experiment: str, text: str) -> str:
         """Persist one serialized artifact; returns its location."""
         ...

@@ -6,6 +6,7 @@ directories keep working, and the bytes written are identical)::
     run_dir/
         manifest.json        # fingerprint + per-experiment status
         cells/fig10.json     # cell key -> measured value
+        meta/fig10.json      # cell key -> diagnostic metadata (optional)
         fig10.json           # final ExperimentResult artifact
         programs/            # shared compiled-program disk cache
 """
@@ -68,6 +69,24 @@ class DirectoryBackend:
         except OSError:
             return []
         return sorted(n[:-5] for n in names if n.endswith(".json"))
+
+    # -- cell metadata ----------------------------------------------------
+    def _meta_path(self, experiment: str) -> str:
+        return os.path.join(self.path, "meta", f"{experiment}.json")
+
+    def save_cell_meta(self, experiment: str, key: str, meta: dict) -> None:
+        os.makedirs(os.path.join(self.path, "meta"), exist_ok=True)
+        recorded = self.load_cell_meta(experiment)
+        recorded[key] = meta
+        atomic_write_text(self._meta_path(experiment),
+                          json.dumps(recorded, indent=0, sort_keys=True))
+
+    def load_cell_meta(self, experiment: str) -> dict[str, dict]:
+        try:
+            with open(self._meta_path(experiment)) as f:
+                return json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return {}
 
     # -- artifacts -------------------------------------------------------
     def save_artifact(self, experiment: str, text: str) -> str:

@@ -10,6 +10,8 @@ Schema::
     cells(experiment, key, value REAL,
           PRIMARY KEY (experiment, key))                -- resume granularity
     artifacts(experiment TEXT PRIMARY KEY, body TEXT)   -- ExperimentResult JSON
+    cell_meta(experiment, key, body TEXT,
+          PRIMARY KEY (experiment, key))                -- diagnostic metadata
 
 Cell values are IPC floats; SQLite ``REAL`` is an IEEE double, so values
 round-trip bit-exactly against the directory backend's JSON (property
@@ -43,6 +45,12 @@ CREATE TABLE IF NOT EXISTS cells (
 CREATE TABLE IF NOT EXISTS artifacts (
     experiment TEXT PRIMARY KEY,
     body TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cell_meta (
+    experiment TEXT NOT NULL,
+    key TEXT NOT NULL,
+    body TEXT NOT NULL,
+    PRIMARY KEY (experiment, key)
 );
 """
 
@@ -144,6 +152,24 @@ class SQLiteBackend:
         rows = conn.execute(
             "SELECT DISTINCT experiment FROM cells ORDER BY experiment")
         return [r[0] for r in rows]
+
+    # -- cell metadata ----------------------------------------------------
+    def save_cell_meta(self, experiment: str, key: str, meta: dict) -> None:
+        conn = self._connect(create=True)
+        conn.execute(
+            "INSERT INTO cell_meta (experiment, key, body) VALUES (?, ?, ?) "
+            "ON CONFLICT (experiment, key) DO UPDATE SET body = excluded.body",
+            (experiment, key, json.dumps(meta, sort_keys=True)))
+        conn.commit()
+
+    def load_cell_meta(self, experiment: str) -> dict[str, dict]:
+        conn = self._connect(create=False)
+        if conn is None:
+            return {}
+        rows = conn.execute(
+            "SELECT key, body FROM cell_meta WHERE experiment = ?",
+            (experiment,)).fetchall()
+        return {k: json.loads(body) for k, body in rows}
 
     # -- artifacts -------------------------------------------------------
     def save_artifact(self, experiment: str, text: str) -> str:

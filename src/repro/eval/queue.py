@@ -55,7 +55,7 @@ from repro.eval.experiments import (
     cell_factory,
     default_config,
 )
-from repro.eval.runner import Cell, run_cell
+from repro.eval.runner import Cell, run_cell_detailed
 from repro.eval.store import RunStore, run_fingerprint
 from repro.eval.sweep import sweep_cells, sweep_threads
 
@@ -302,7 +302,7 @@ def run_worker(store, *, worker_id: str | None = None,
             if machine is None:
                 machine = machines[cell.machine] = \
                     spec.machine_for(cell.machine)
-            value = run_cell(cell, config, machine)
+            value, meta = run_cell_detailed(cell, config, machine)
         except Exception as exc:  # noqa: BLE001 - worker must survive
             backend.fail(claim["experiment"], claim["key"],
                          f"{type(exc).__name__}: {exc}")
@@ -312,6 +312,7 @@ def run_worker(store, *, worker_id: str | None = None,
                          f"{type(exc).__name__}: {exc}")
         else:
             backend.finish(claim["experiment"], claim["key"], value)
+            backend.save_cell_meta(claim["experiment"], claim["key"], meta)
             report.executed += 1
             if progress is not None:
                 retry = (f"  [attempt {claim['attempt']}]"

@@ -35,9 +35,11 @@ from repro.arch import paper_machine
 from repro.kernels import by_name, compile_spec
 from repro.kernels.cache import get_default_cache, set_cache_dir
 from repro.sim import run_workload
+from repro.sim.codegen import get_loop_cache, set_loop_cache_dir
 from repro.workloads import workload_specs
 
-__all__ = ["Cell", "GridResult", "run_cell", "run_cells", "shard_cells"]
+__all__ = ["Cell", "GridResult", "run_cell", "run_cell_detailed",
+           "run_cells", "shard_cells"]
 
 #: cell config variants -> SimConfig transform.
 _VARIANTS = {
@@ -155,28 +157,47 @@ def cell_programs(cell: Cell, machine, options=None) -> list:
     return [compile_spec(s, machine, options) for s in _cell_specs(cell)]
 
 
-def run_cell(cell: Cell, config, machine=None, options=None) -> float:
-    """Simulate one grid cell and return its IPC."""
+def run_cell_detailed(cell: Cell, config, machine=None, options=None
+                      ) -> tuple[float, dict]:
+    """Simulate one grid cell; returns ``(ipc, meta)``.
+
+    ``meta`` is diagnostic provenance for the cell — the engine that ran
+    it plus its :class:`~repro.sim.engine.EngineStats` counters (memo
+    hit rates, codegen cache activity, compile seconds, fallbacks) — so
+    a result store can explain *why* a cell was slow.  It is never part
+    of the cell's value: engines are bit-identical, and stores ignore
+    metadata for resume/merge purposes.
+    """
     machine = machine or paper_machine()
     programs = cell_programs(cell, machine, options)
     cfg = _VARIANTS[cell.variant](config)
-    return run_workload(programs, cell.scheme, cfg).ipc
+    result = run_workload(programs, cell.scheme, cfg)
+    meta = {"engine": cfg.engine, "engine_stats": result.engine_stats}
+    return result.ipc, meta
+
+
+def run_cell(cell: Cell, config, machine=None, options=None) -> float:
+    """Simulate one grid cell and return its IPC."""
+    return run_cell_detailed(cell, config, machine, options)[0]
 
 
 # -- worker-side state (set once per pool worker) -------------------------
 _worker_state: dict = {}
 
 
-def _worker_init(config, machine, cache_dir) -> None:
+def _worker_init(config, machine, cache_dir, loop_cache_dir) -> None:
     if cache_dir:
         set_cache_dir(cache_dir)
+    if loop_cache_dir:
+        set_loop_cache_dir(loop_cache_dir)
     _worker_state["config"] = config
     _worker_state["machine"] = machine
 
 
-def _worker_run(cell: Cell) -> tuple[str, float]:
-    value = run_cell(cell, _worker_state["config"], _worker_state["machine"])
-    return cell.key, value
+def _worker_run(cell: Cell) -> tuple[str, float, dict]:
+    value, meta = run_cell_detailed(cell, _worker_state["config"],
+                                    _worker_state["machine"])
+    return cell.key, value, meta
 
 
 def _prewarm(cells, machine, options=None) -> None:
@@ -236,6 +257,7 @@ def run_cells(cells, config, machine=None, jobs: int = 1, store=None
             pending.append(cell)
 
     prev_cache_dir = get_default_cache().directory
+    prev_loop_dir = get_loop_cache().directory
     if pending and store is not None and prev_cache_dir is None:
         if hasattr(store, "programs_dir"):
             programs = store.programs_dir()
@@ -244,34 +266,44 @@ def run_cells(cells, config, machine=None, jobs: int = 1, store=None
             programs = os.path.join(path, "programs") if path else None
         if programs:
             set_cache_dir(programs)
+            # the generated-loop disk cache (JitEngine) shares the same
+            # process-safe directory, so a scheme's cycle loop compiles
+            # once per host, not once per worker process.
+            if prev_loop_dir is None:
+                set_loop_cache_dir(programs)
 
-    def record(key: str, value: float) -> None:
+    def record(key: str, value: float, meta: dict | None) -> None:
         result.values[key] = value
         result.executed += 1
         if store is not None:
             store.record_cell(experiment, key, value)
+            if meta is not None and hasattr(store, "record_cell_meta"):
+                store.record_cell_meta(experiment, key, meta)
 
     try:
         if jobs <= 1 or len(pending) <= 1:
             for cell in pending:
-                record(cell.key, run_cell(cell, config, machine))
+                value, meta = run_cell_detailed(cell, config, machine)
+                record(cell.key, value, meta)
         elif pending:
             _prewarm(pending, machine)
             workers = min(jobs, len(pending))
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_worker_init,
-                initargs=(config, machine, get_default_cache().directory),
+                initargs=(config, machine, get_default_cache().directory,
+                          get_loop_cache().directory),
             ) as pool:
                 futures = {pool.submit(_worker_run, cell) for cell in pending}
                 while futures:
                     finished, futures = wait(futures,
                                              return_when=FIRST_COMPLETED)
                     for fut in finished:
-                        key, value = fut.result()
-                        record(key, value)
+                        key, value, meta = fut.result()
+                        record(key, value, meta)
     finally:
         set_cache_dir(prev_cache_dir)
+        set_loop_cache_dir(prev_loop_dir)
 
     if store is not None:
         store.update_manifest(experiment, cells=len(cells),

@@ -76,6 +76,10 @@ class MultiOp:
         branch: the branch operation, if any.
         address: static byte address (assigned by codegen; -1 = unset).
         size: encoded size in bytes (4 bytes per syllable, min 4).
+        sig: process-wide interned id of ``(mask, packed)`` (assigned by
+            :func:`repro.sim.codegen.ensure_sigs`; -1 = unset).  Merge
+            decisions depend on a MultiOp only through that pair, so
+            engines compose memo keys from these small ids.
     """
 
     __slots__ = (
@@ -89,6 +93,7 @@ class MultiOp:
         "branch",
         "address",
         "size",
+        "sig",
     )
 
     def __init__(self, ops: tuple[Operation, ...], n_clusters: int):
@@ -128,6 +133,7 @@ class MultiOp:
         self.branch = branch
         self.address = -1
         self.size = max(4, 4 * len(ops))
+        self.sig = -1
 
     def validate(self, machine) -> None:
         """Raise ValueError unless this instruction is legal on ``machine``.

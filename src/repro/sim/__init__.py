@@ -3,7 +3,15 @@
 from repro.sim.cache import Cache, CacheConfig, PerfectCache, make_cache
 from repro.sim.config import SimConfig, run_workload
 from repro.sim.core import MTCore
-from repro.sim.engine import ENGINES, Engine, FastEngine, ReferenceEngine, make_engine
+from repro.sim.engine import (
+    ENGINES,
+    Engine,
+    EngineStats,
+    FastEngine,
+    JitEngine,
+    ReferenceEngine,
+    make_engine,
+)
 from repro.sim.os_sched import Multitasker, RunResult
 from repro.sim.stats import SimStats
 from repro.sim.thread import ThreadState
@@ -13,7 +21,9 @@ __all__ = [
     "CacheConfig",
     "ENGINES",
     "Engine",
+    "EngineStats",
     "FastEngine",
+    "JitEngine",
     "MTCore",
     "Multitasker",
     "PerfectCache",

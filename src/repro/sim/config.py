@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 from repro.merge.registry import get_scheme
 from repro.sim.cache import CacheConfig, make_cache
 from repro.sim.core import MTCore
+from repro.sim.engine import ENGINES
 from repro.sim.os_sched import Multitasker, RunResult
 from repro.sim.thread import ThreadState
 
@@ -37,10 +38,20 @@ class SimConfig:
     seed: int = 1
     rotate_priority: bool = True
     max_cycles: int | None = None
-    #: simulation engine ('reference' or 'fast').  Both are bit-identical
-    #: in every reported statistic (enforced by the differential suite in
-    #: tests/test_engine.py); the choice affects wall-clock speed only.
+    #: simulation engine ('reference', 'fast' or 'jit').  All are
+    #: bit-identical in every reported statistic (enforced by the
+    #: differential suite in tests/test_engine.py); the choice affects
+    #: wall-clock speed only.
     engine: str = "fast"
+
+    def __post_init__(self) -> None:
+        # fail at construction, not at first run: a typo'd engine name
+        # inside a campaign spec should not surface cells later.
+        if isinstance(self.engine, str) and self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; "
+                f"choose from {sorted(ENGINES)}"
+            )
 
     def scaled(self, factor: float) -> "SimConfig":
         """Scale run length (quota + slice + warmup together) by ``factor``.

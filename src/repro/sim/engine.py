@@ -7,7 +7,7 @@ the core's :class:`~repro.sim.thread.ThreadState` contexts, caches,
 scheduler can drive any engine across timeslices and context switches
 without knowing which one is plugged in.
 
-Two implementations ship:
+Three implementations ship:
 
 * :class:`ReferenceEngine` — the executable specification: a literal
   cycle-by-cycle loop (fetch, merge via the recursive scheme AST, issue)
@@ -32,15 +32,65 @@ Two implementations ship:
      a bounded memo answers almost every merge cycle with one dict
      lookup and zero packet allocations.
 
-The differential suite (``tests/test_engine.py``) locks the two engines
+* :class:`JitEngine` — bit-identical again, fastest on multithreaded
+  cells: :mod:`repro.sim.codegen` generates one specialized Python
+  run loop per (scheme geometry, machine shape) with all per-thread
+  state hoisted into locals, merge signatures computed at fetch time,
+  the memo probe and cache LRU bookkeeping baked into the source, and
+  per-slot solo bursts.  Shapes the generated loop does not cover
+  (partially occupied cores, custom cache types) transparently fall
+  back to an internal :class:`FastEngine`.
+
+Every engine reports an :class:`EngineStats` snapshot
+(:meth:`Engine.engine_stats`) — memo hits/misses/drops, codegen cache
+hits and compile seconds — which the eval layer surfaces as cell
+metadata so campaign stores record *why* a cell was slow.
+
+The differential suite (``tests/test_engine.py``) locks the engines
 together across the full scheme registry and every Table 2 workload.
 """
 
 from __future__ import annotations
 
+from dataclasses import asdict, dataclass
+
 from repro.sim.cache import Cache, PerfectCache
 
-__all__ = ["ENGINES", "Engine", "FastEngine", "ReferenceEngine", "make_engine"]
+__all__ = [
+    "ENGINES",
+    "Engine",
+    "EngineStats",
+    "FastEngine",
+    "JitEngine",
+    "ReferenceEngine",
+    "make_engine",
+]
+
+
+@dataclass
+class EngineStats:
+    """Acceleration-structure counters one engine accumulated.
+
+    All engines expose the same shape (reference reports zeros), so
+    cell metadata is uniform across engines.  ``memo_*`` counters
+    cover merge-memo probes on contested (>= 2 ready ports) cycles;
+    ``codegen_*`` counters cover the JIT engine's loop-cache activity;
+    ``fallback_runs`` counts timeslices the JIT engine delegated to
+    its internal fast engine.
+    """
+
+    engine: str
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_drops: int = 0
+    codegen_memory_hits: int = 0
+    codegen_disk_hits: int = 0
+    codegen_compiles: int = 0
+    compile_seconds: float = 0.0
+    fallback_runs: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
 
 
 class Engine:
@@ -63,6 +113,10 @@ class Engine:
         ``"timeslice"`` when the cycle budget is exhausted first.
         """
         raise NotImplementedError
+
+    def engine_stats(self) -> EngineStats:
+        """Acceleration counters accumulated so far (zeros by default)."""
+        return EngineStats(engine=self.name)
 
 
 class ReferenceEngine(Engine):
@@ -205,6 +259,18 @@ class FastEngine(Engine):
         self._memo_hits = 0
         #: SchemePlan the memo's decisions belong to.
         self._plan_for = None
+        #: lifetime EngineStats counters (never reset on plan switch).
+        self._stat_hits = 0
+        self._stat_misses = 0
+        self._stat_drops = 0
+
+    def engine_stats(self) -> EngineStats:
+        return EngineStats(
+            engine=self.name,
+            memo_hits=self._stat_hits,
+            memo_misses=self._stat_misses,
+            memo_drops=self._stat_drops,
+        )
 
     def run(self, core, max_cycles: int, instr_limit: int | None = None) -> str:
         contexts = core.contexts
@@ -233,6 +299,9 @@ class FastEngine(Engine):
         sig_values = self._sig_values
         memo_on = self._memo_on
         memo_hits = self._memo_hits
+        hits0 = memo_hits
+        memo_misses = 0
+        memo_drops = 0
         memo_limit = self.memo_limit
         batch = self.stream_batch
         caps_high = core.rules.caps_high
@@ -565,6 +634,7 @@ class FastEngine(Engine):
                         key = key << 21 | s
                 sel = memo.get(key)
                 if sel is None:
+                    memo_misses += 1
                     for p in range(n):
                         ctx = port_ctx[p]
                         pp = p + p
@@ -578,6 +648,7 @@ class FastEngine(Engine):
                     sel = select_ports(*args)
                     if len(memo) >= memo_limit:
                         memo.clear()
+                        memo_drops += 1
                     memo[key] = sel
                     if len(memo) > 8192 and memo_hits * 2 < len(memo):
                         # signatures rarely repeat here: stop paying for
@@ -673,6 +744,9 @@ class FastEngine(Engine):
         # ---------------------------------------------------- flush
         self._memo_on = memo_on
         self._memo_hits = memo_hits
+        self._stat_hits += memo_hits - hits0
+        self._stat_misses += memo_misses
+        self._stat_drops += memo_drops
         if solo_issues:
             instrs_acc += solo_issues
             hist[1] = hist.get(1, 0) + solo_issues
@@ -688,10 +762,122 @@ class FastEngine(Engine):
         return status
 
 
+class JitEngine(Engine):
+    """Runs a generated whole-cycle loop; bit-identical to the reference.
+
+    :mod:`repro.sim.codegen` emits one specialized run loop per
+    structural shape — port count, rotation schedule, cache geometry,
+    branch penalty — with every per-slot field in locals, two-ready
+    merges resolved by an inlined pair predicate, and the memo probe
+    and LRU bookkeeping inlined.  The loop is compiled once per shape
+    (process-wide, optionally disk-shared across workers) and bound to
+    one :class:`~repro.sim.codegen.LoopEntry` per
+    ``(SchemePlan, cache shape, knobs)``, which carries the shared
+    merge memo.
+
+    Cores the generated loop does not model — partially occupied
+    contexts or cache types other than :class:`Cache` /
+    :class:`PerfectCache` — delegate the whole timeslice to an internal
+    :class:`FastEngine`, preserving bit-identity by construction.
+    """
+
+    name = "jit"
+
+    MEMO_LIMIT = FastEngine.MEMO_LIMIT
+    STREAM_BATCH = FastEngine.STREAM_BATCH
+
+    def __init__(self, memo_limit: int | None = None,
+                 stream_batch: int | None = None):
+        self.memo_limit = self.MEMO_LIMIT if memo_limit is None \
+            else max(1, memo_limit)
+        self.stream_batch = self.STREAM_BATCH if stream_batch is None \
+            else max(1, stream_batch)
+        self._fallback = FastEngine(memo_limit=memo_limit,
+                                    stream_batch=stream_batch)
+        self._entry = None
+        self._entry_for = None
+        #: programs whose MultiOp signatures this engine has interned
+        #: (id -> program; holding the ref keeps ids unambiguous).
+        self._sig_done: dict = {}
+        #: memo counters flushed by the generated loop (its ``sink``).
+        self._m_hits = 0
+        self._m_miss = 0
+        self._m_drops = 0
+        #: loop-cache activity attributable to this engine instance.
+        self._cg_memory_hits = 0
+        self._cg_disk_hits = 0
+        self._cg_compiles = 0
+        self._cg_seconds = 0.0
+        self.fallback_runs = 0
+
+    def engine_stats(self) -> EngineStats:
+        fb = self._fallback.engine_stats()
+        return EngineStats(
+            engine=self.name,
+            memo_hits=self._m_hits + fb.memo_hits,
+            memo_misses=self._m_miss + fb.memo_misses,
+            memo_drops=self._m_drops + fb.memo_drops,
+            codegen_memory_hits=self._cg_memory_hits,
+            codegen_disk_hits=self._cg_disk_hits,
+            codegen_compiles=self._cg_compiles,
+            compile_seconds=round(self._cg_seconds, 6),
+            fallback_runs=self.fallback_runs,
+        )
+
+    def run(self, core, max_cycles: int, instr_limit: int | None = None) -> str:
+        from repro.sim import codegen
+
+        for ctx in core.contexts:
+            if ctx is None:
+                self.fallback_runs += 1
+                return self._fallback.run(core, max_cycles, instr_limit)
+        i_desc = codegen.cache_descriptor(core.icache)
+        d_desc = codegen.cache_descriptor(core.dcache)
+        if i_desc is None or d_desc is None:
+            self.fallback_runs += 1
+            return self._fallback.run(core, max_cycles, instr_limit)
+        if core.scheme.n_ports > 2:
+            # the generated >=3-ready merge path reads MultiOp.sig.
+            for ctx in core.contexts:
+                prog = ctx.program
+                if id(prog) not in self._sig_done:
+                    if not codegen.ensure_sigs(prog):
+                        self.fallback_runs += 1
+                        return self._fallback.run(core, max_cycles,
+                                                  instr_limit)
+                    self._sig_done[id(prog)] = prog
+        plan = core.scheme.compile(core.rules)
+        entry = self._entry
+        if entry is None or self._entry_for != (plan, i_desc, d_desc,
+                                                core.rotate):
+            cache = codegen.get_loop_cache()
+            before = (cache.memory_hits, cache.disk_hits, cache.compiles,
+                      cache.compile_seconds)
+            entry = codegen.loop_entry(
+                core.scheme, plan, core.rules, i_desc, d_desc,
+                core.machine.taken_branch_penalty, core.rotate,
+                self.memo_limit, self.stream_batch,
+            )
+            hits = cache.memory_hits - before[0]
+            if hits + (cache.disk_hits - before[1]) \
+                    + (cache.compiles - before[2]) == 0:
+                # loop_entry reused a process-wide LoopEntry without
+                # consulting the loop cache: still an in-memory reuse.
+                hits = 1
+            self._cg_memory_hits += hits
+            self._cg_disk_hits += cache.disk_hits - before[1]
+            self._cg_compiles += cache.compiles - before[2]
+            self._cg_seconds += cache.compile_seconds - before[3]
+            self._entry = entry
+            self._entry_for = (plan, i_desc, d_desc, core.rotate)
+        return entry.fn(core, max_cycles, instr_limit, entry, self)
+
+
 #: engine registry, keyed by CLI/config name.
 ENGINES: dict[str, type[Engine]] = {
     ReferenceEngine.name: ReferenceEngine,
     FastEngine.name: FastEngine,
+    JitEngine.name: JitEngine,
 }
 
 
@@ -700,15 +886,15 @@ def make_engine(spec) -> Engine:
 
     ``make_engine("fast")``, ``make_engine(FastEngine)`` and
     ``make_engine(FastEngine())`` are all accepted; unknown names raise
-    ``KeyError`` listing the registry.
+    ``ValueError`` listing the registry.
     """
     if isinstance(spec, str):
-        try:
-            return ENGINES[spec]()
-        except KeyError:
-            raise KeyError(
+        cls = ENGINES.get(spec)
+        if cls is None:
+            raise ValueError(
                 f"unknown engine {spec!r}; choose from {sorted(ENGINES)}"
-            ) from None
+            )
+        return cls()
     if isinstance(spec, type) and issubclass(spec, Engine):
         return spec()
     if isinstance(spec, Engine) or hasattr(spec, "run"):

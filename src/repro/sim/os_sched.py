@@ -26,12 +26,20 @@ __all__ = ["Multitasker", "RunResult"]
 
 @dataclass
 class RunResult:
-    """Outcome of one multiprogrammed run."""
+    """Outcome of one multiprogrammed run.
+
+    ``engine_stats`` is the engine's acceleration-counter snapshot
+    (:meth:`repro.sim.engine.EngineStats.as_dict`): memo hit/miss/drop
+    counts, codegen cache activity and fallback runs.  It is diagnostic
+    metadata — never part of the bit-identity contract between engines
+    — recorded so result stores can explain why a cell was slow.
+    """
 
     stats: object
     threads: list
     icache: object
     dcache: object
+    engine_stats: dict | None = None
 
     @property
     def ipc(self) -> float:
@@ -141,9 +149,12 @@ class Multitasker:
                 f"(IPC reads 0.0); raise max_cycles or lower "
                 f"warmup_instrs",
                 RuntimeWarning, stacklevel=2)
+        engine = getattr(core, "engine", None)
         return RunResult(
             stats=core.stats,
             threads=self.threads,
             icache=core.icache,
             dcache=core.dcache,
+            engine_stats=(engine.engine_stats().as_dict()
+                          if engine is not None else None),
         )

@@ -53,20 +53,25 @@ class _Stream(AddressGenerator):
 class _Random(AddressGenerator):
     """Uniform aligned accesses over the footprint (rand & chase)."""
 
-    __slots__ = ("_n_slots", "_align", "_randbelow")
+    __slots__ = ("_n_slots", "_align", "_bits", "_getrandbits")
 
     def __init__(self, pattern, thread_id, pattern_index, rng):
         super().__init__(pattern, thread_id, pattern_index, rng)
         self._n_slots = pattern.footprint // pattern.align
         self._align = pattern.align
-        # randrange(n) reduces to _randbelow(n) for a positive int bound;
-        # binding it once skips the per-call argument normalization while
-        # drawing the identical sample from the shared thread RNG.  Fall
-        # back to the public API on interpreters without the attribute.
-        self._randbelow = getattr(rng, "_randbelow", None) or rng.randrange
+        # randrange(n) reduces to the rejection loop below for a positive
+        # int bound (CPython's _randbelow_with_getrandbits); inlining it
+        # draws the identical bits in the identical order from the shared
+        # thread RNG while skipping two call frames per address.
+        self._bits = self._n_slots.bit_length()
+        self._getrandbits = rng.getrandbits
 
     def next_address(self) -> int:
-        return self.base + self._randbelow(self._n_slots) * self._align
+        n = self._n_slots
+        r = self._getrandbits(self._bits)
+        while r >= n:
+            r = self._getrandbits(self._bits)
+        return self.base + r * self._align
 
 
 def make_generator(pattern: AccessPattern, thread_id: int, pattern_index: int,

@@ -22,7 +22,15 @@ together by ``tests/test_trace.py``):
 * :meth:`InstructionStream.materialize` batch-generates records with an
   explicit ``(block, instruction)`` state machine into a buffer the fast
   engine indexes directly, amortizing the walk overhead and reusing
-  immutable records for memory-free instructions.
+  immutable records for memory-free instructions.  The batch walk is
+  itself *generated per program* (:func:`_fill_source`): each basic
+  block becomes straight-line code — prebuilt records appended
+  directly, address arithmetic and branch sampling inlined with the
+  pattern constants baked in — dispatched by a block-index ``if``
+  chain, so the fill loop pays no per-record plan lookups.  Bulk mode
+  may overfill past the requested count to the end of a basic block;
+  records are produced by the same walk in the same order, so this is
+  invisible to consumers (the buffer drains before the walk advances).
 
 A stream commits to whichever mode touches it first; mixing afterwards
 stays correct (the buffer always drains before the walk advances).
@@ -33,7 +41,7 @@ from __future__ import annotations
 import random
 from itertools import islice
 
-from repro.trace.addrgen import make_generator
+from repro.trace.addrgen import _Random, _Stream, make_generator
 
 __all__ = ["Fetch", "InstructionStream"]
 
@@ -76,12 +84,12 @@ class InstructionStream:
         #: materialized-but-not-yet-consumed records (see materialize()).
         self._buf: list[Fetch] = []
         self._pos = 0
-        #: immutable records reused across executions (bulk mode): mop ->
-        #: Fetch for branchless memory-free instructions, (mop, taken) ->
-        #: Fetch for memory-free branches.
-        self._const: dict = {}
-        #: mop -> tuple of bound next_address generators, in mem-op order.
-        self._mem_fns: dict = {}
+        #: block index -> precompiled fetch plan (bulk mode), holding the
+        #: reusable immutable records and bound address generators so the
+        #: batch walk touches no dicts per record (see _block_plan()).
+        self._plans: dict = {}
+        #: program-specialized batch filler (resolved on first _fill).
+        self._fill_fn = None
 
     def __iter__(self):
         return self
@@ -118,8 +126,10 @@ class InstructionStream:
         Purely a batching hint: records are produced by the same walk in
         the same order, and ``next()`` always drains the buffer first, so
         the observed stream is identical whether or not (and however
-        often) this is called.  Returns the internal buffer, whose first
-        :attr:`buffered` entries are the upcoming fetches.
+        often) this is called.  May buffer slightly more than ``n`` (the
+        specialized filler stops at basic-block boundaries).  Returns
+        the internal buffer, whose first :attr:`buffered` entries are
+        the upcoming fetches.
         """
         buf = self._buf
         if self._pos:
@@ -183,29 +193,90 @@ class InstructionStream:
     # ------------------------------------------------------------------
     # bulk mode: explicit-state batch walk feeding the buffer
     # ------------------------------------------------------------------
-    def _mem_generators(self, mop) -> tuple:
-        fns = self._mem_fns.get(mop)
-        if fns is None:
-            gens = self.gens
-            fns = tuple(gens[op.pattern].next_address for op in mop.mem_ops)
-            self._mem_fns[mop] = fns
-        return fns
+    def _block_plan(self, bi: int) -> list:
+        """Precompile one block into per-instruction fetch entries.
+
+        Memory-free instructions get their immutable record(s) built
+        once here (branchless: the single shared record; branches: the
+        not-taken/taken pair), so :meth:`_fill` appends them with no
+        per-record allocation or dict probe.  Memory instructions bind
+        their address generators — single-access instructions unpack
+        the generator's fields so the fill loop draws the address with
+        inline arithmetic instead of a method call — and pre-split the
+        branch behavior (loop trip vs bernoulli probability), leaving
+        only the RNG draws for fill time.  Entry layouts (every
+        memory-instruction layout ends ``..., is_loop, trip_or_prob,
+        target``)::
+
+            (0, mop, br, fns, n_fns, is_loop, x, target)  generic
+            (1, shared_record)                            no mem, no br
+            (2, rec_not_taken, rec_taken, is_loop, x, target)
+            (3, mop, br, gen, base, stride, footprint, is_loop, x, target)
+            (4, mop, br, getrandbits, bits, n_slots, align, base,
+                is_loop, x, target)
+        """
+        blk = self.program.blocks[bi]
+        gens = self.gens
+        plan: list = []
+        for mop, br in zip(blk.mops, blk.branches):
+            if br is None:
+                is_loop, x, target = False, 0.0, None
+            else:
+                beh = br.behavior
+                is_loop = beh.kind == "loop"
+                x = beh.trip if is_loop else beh.prob
+                target = br.target
+            if mop.mem_ops:
+                if len(mop.mem_ops) == 1:
+                    g = gens[mop.mem_ops[0].pattern]
+                    if type(g) is _Stream:
+                        plan.append((3, mop, br, g, g.base,
+                                     g.pattern.stride, g.pattern.footprint,
+                                     is_loop, x, target))
+                        continue
+                    if type(g) is _Random:
+                        plan.append((4, mop, br, g._getrandbits, g._bits,
+                                     g._n_slots, g._align, g.base,
+                                     is_loop, x, target))
+                        continue
+                fns = tuple(gens[op.pattern].next_address
+                            for op in mop.mem_ops)
+                plan.append((0, mop, br, fns, len(fns), is_loop, x, target))
+            elif br is None:
+                plan.append((1, Fetch(mop, False, (), None)))
+            else:
+                plan.append((2, Fetch(mop, False, (), br),
+                             Fetch(mop, True, (), br), is_loop, x, target))
+        return plan
 
     def _fill(self, n: int) -> None:
-        """Append the next ``n`` records of the walk to the buffer.
+        """Append at least the next ``n`` records of the walk to the
+        buffer (the specialized filler stops at basic-block boundaries,
+        so it may run a few records past ``n``).
 
         RNG discipline: a record's memory addresses are always drawn
         before its branch outcome (address generators and branch
         sampling share the thread RNG), exactly like :meth:`_walk`.
         """
+        if self._mi == 0:
+            fn = self._fill_fn
+            if fn is None:
+                fn = self._fill_fn = _fill_fn_for(self.program)
+            if fn is not False:
+                fn(self, n)
+                return
+        self._fill_generic(n)
+
+    def _fill_generic(self, n: int) -> None:
+        """Interpreted batch walk: used when the stream stopped inside
+        a basic block (only possible if the specialized filler was
+        unavailable) or when specialization is unsupported."""
         buf = self._buf
         append = buf.append
-        blocks = self.program.blocks
-        n_blocks = len(blocks)
+        n_blocks = len(self.program.blocks)
         rng_random = self.rng.random
-        const = self._const
         take_loop = self._take_loop
-        mem_generators = self._mem_generators
+        plans = self._plans
         bi = self._bi
         mi = self._mi
         produced = 0
@@ -213,51 +284,77 @@ class InstructionStream:
             if bi >= n_blocks:  # fell off the end: kernel restarts
                 bi = 0
                 mi = 0
-            blk = blocks[bi]
-            mops = blk.mops
-            branches = blk.branches
-            n_mops = len(mops)
+            plan = plans.get(bi)
+            if plan is None:
+                plan = plans[bi] = self._block_plan(bi)
+            n_mops = len(plan)
             redirect = None
             while mi < n_mops:
-                mop = mops[mi]
-                br = branches[mi]
+                ent = plan[mi]
                 mi += 1
-                taken = False
-                if mop.mem_ops:
-                    fns = mem_generators(mop)
-                    if len(fns) == 1:
-                        addrs = (fns[0](),)
-                    elif len(fns) == 2:
-                        addrs = (fns[0](), fns[1]())
+                tag = ent[0]
+                if tag == 1:  # memory-free, branchless: shared record
+                    append(ent[1])
+                    produced += 1
+                    if produced >= n:
+                        break
+                elif tag == 2:  # memory-free branch: prebuilt pair
+                    if ent[3]:
+                        taken = take_loop(bi, ent[4])
                     else:
-                        addrs = tuple(f() for f in fns)
-                    if br is not None:
-                        beh = br.behavior
-                        if beh.kind == "loop":
-                            taken = take_loop(bi, beh.trip)
+                        x = ent[4]
+                        taken = x >= 1.0 or rng_random() < x
+                    if taken:
+                        append(ent[2])
+                        produced += 1
+                        redirect = ent[5]
+                        break
+                    append(ent[1])
+                    produced += 1
+                    if produced >= n:
+                        break
+                else:  # memory instruction: draw addresses, then branch
+                    if tag == 3:  # one streaming access, inlined
+                        g = ent[3]
+                        pos = g.pos
+                        addrs = (ent[4] + pos,)
+                        g.pos = (pos + ent[5]) % ent[6]
+                    elif tag == 4:  # one random access, inlined
+                        grb = ent[3]
+                        bits = ent[4]
+                        ns = ent[5]
+                        r = grb(bits)
+                        while r >= ns:
+                            r = grb(bits)
+                        addrs = (ent[7] + r * ent[6],)
+                    else:
+                        fns = ent[3]
+                        nf = ent[4]
+                        if nf == 1:
+                            addrs = (fns[0](),)
+                        elif nf == 2:
+                            addrs = (fns[0](), fns[1]())
+                        elif nf == 3:
+                            addrs = (fns[0](), fns[1](), fns[2]())
+                        elif nf == 4:
+                            addrs = (fns[0](), fns[1](), fns[2](), fns[3]())
                         else:
-                            taken = beh.prob >= 1.0 or rng_random() < beh.prob
-                    rec = Fetch(mop, taken, addrs, br)
-                elif br is None:
-                    rec = const.get(mop)
-                    if rec is None:
-                        rec = const[mop] = Fetch(mop, False, (), None)
-                else:
-                    beh = br.behavior
-                    if beh.kind == "loop":
-                        taken = take_loop(bi, beh.trip)
-                    else:
-                        taken = beh.prob >= 1.0 or rng_random() < beh.prob
-                    rec = const.get((mop, taken))
-                    if rec is None:
-                        rec = const[mop, taken] = Fetch(mop, taken, (), br)
-                append(rec)
-                produced += 1
-                if taken:
-                    redirect = br.target
-                    break
-                if produced >= n:
-                    break
+                            addrs = tuple(f() for f in fns)
+                    br = ent[2]
+                    taken = False
+                    if br is not None:
+                        if ent[-3]:
+                            taken = take_loop(bi, ent[-2])
+                        else:
+                            x = ent[-2]
+                            taken = x >= 1.0 or rng_random() < x
+                    append(Fetch(ent[1], taken, addrs, br))
+                    produced += 1
+                    if taken:
+                        redirect = ent[-1]
+                        break
+                    if produced >= n:
+                        break
             if redirect is not None:
                 bi = redirect
                 mi = 0
@@ -266,3 +363,181 @@ class InstructionStream:
                 mi = 0
         self._bi = bi
         self._mi = mi
+
+
+# ----------------------------------------------------------------------
+# program-specialized batch filler
+# ----------------------------------------------------------------------
+def _fill_source(program) -> tuple[str, list]:
+    """Generate a straight-line batch filler for one program.
+
+    Emits ``_fill_compiled(self, n)``: an outer ``while produced < n``
+    over a block-index dispatch chain, each basic block unrolled into
+    literal appends.  Memory-free records are prebuilt constants
+    (returned in ``consts``, unpacked into locals by the prologue);
+    address draws inline the generator arithmetic with the pattern's
+    stride/footprint/alignment baked in (``_Stream`` positions are
+    hoisted into locals and flushed on exit); branch sampling inlines
+    the loop-counter or Bernoulli draw.  Taken branches exit the block
+    with a statically counted ``produced`` bump; the not-taken path
+    falls through linearly, so no code is duplicated.  RNG order
+    (addresses before branch outcome, shared thread RNG) is identical
+    to :meth:`InstructionStream._walk`.
+    """
+    consts: list = []
+    names: list[str] = []
+
+    def bind(obj, tag: str) -> str:
+        name = f"_K{tag}_{len(consts)}"
+        consts.append(obj)
+        names.append(name)
+        return name
+
+    kinds = [p.kind for p in program.patterns]
+    blocks = program.blocks
+    nb = len(blocks)
+    L: list[str] = ["def _fill_compiled(self, n):"]
+    e = L.append
+    e("    append = self._buf.append")
+    e("    rng_random = self.rng.random")
+    e("    grb = self.rng.getrandbits")
+    e("    counters = self._counters")
+    e("    gens = self.gens")
+    e("    F = Fetch")
+    for gi, kind in enumerate(kinds):
+        e(f"    g{gi} = gens[{gi}]")
+        e(f"    b{gi} = g{gi}.base")
+        if kind == "stream":
+            e(f"    pos{gi} = g{gi}.pos")
+    e("    produced = 0")
+    e("    bi = self._bi")
+    e("    while produced < n:")
+    e(f"        if bi >= {nb}:")
+    e("            bi = 0")
+
+    def emit_block(bidx: int, pad: str) -> None:
+        blk = blocks[bidx]
+        cnt = 0
+        for mop, br in zip(blk.mops, blk.branches):
+            cnt += 1
+            if br is not None:
+                beh = br.behavior
+                is_loop = beh.kind == "loop"
+                always = (not is_loop) and beh.prob >= 1.0
+            if not mop.mem_ops:
+                if br is None:
+                    k = bind(Fetch(mop, False, (), None), "r")
+                    e(f"{pad}append({k})")
+                    continue
+                kn = bind(Fetch(mop, False, (), br), "n")
+                kt = bind(Fetch(mop, True, (), br), "t")
+                if always:
+                    e(f"{pad}append({kt})")
+                    e(f"{pad}produced += {cnt}")
+                    e(f"{pad}bi = {br.target}")
+                    e(f"{pad}continue")
+                    return  # rest of block unreachable
+                if is_loop:
+                    e(f"{pad}_c = counters.get({bidx}, {beh.trip})")
+                    e(f"{pad}if _c > 1:")
+                    e(f"{pad}    counters[{bidx}] = _c - 1")
+                    e(f"{pad}    append({kt})")
+                    e(f"{pad}    produced += {cnt}")
+                    e(f"{pad}    bi = {br.target}")
+                    e(f"{pad}    continue")
+                    e(f"{pad}counters[{bidx}] = {beh.trip}")
+                    e(f"{pad}append({kn})")
+                else:
+                    e(f"{pad}if rng_random() < {beh.prob!r}:")
+                    e(f"{pad}    append({kt})")
+                    e(f"{pad}    produced += {cnt}")
+                    e(f"{pad}    bi = {br.target}")
+                    e(f"{pad}    continue")
+                    e(f"{pad}append({kn})")
+                continue
+            # memory instruction: draw addresses, then the branch.
+            for x, op in enumerate(mop.mem_ops):
+                gi = op.pattern
+                pat = program.patterns[gi]
+                if kinds[gi] == "stream":
+                    e(f"{pad}_a{x} = b{gi} + pos{gi}")
+                    e(f"{pad}pos{gi} = (pos{gi} + {pat.stride})"
+                      f" % {pat.footprint}")
+                else:
+                    n_slots = pat.footprint // pat.align
+                    bits = n_slots.bit_length()
+                    e(f"{pad}_r = grb({bits})")
+                    e(f"{pad}while _r >= {n_slots}:")
+                    e(f"{pad}    _r = grb({bits})")
+                    e(f"{pad}_a{x} = b{gi} + _r * {pat.align}")
+            addrs = "(" + ", ".join(f"_a{x}" for x in
+                                    range(len(mop.mem_ops))) + ",)"
+            km = bind(mop, "m")
+            if br is None:
+                e(f"{pad}append(F({km}, False, {addrs}, None))")
+                continue
+            kb = bind(br, "b")
+            if always:
+                e(f"{pad}append(F({km}, True, {addrs}, {kb}))")
+                e(f"{pad}produced += {cnt}")
+                e(f"{pad}bi = {br.target}")
+                e(f"{pad}continue")
+                return
+            if is_loop:
+                e(f"{pad}_c = counters.get({bidx}, {beh.trip})")
+                e(f"{pad}if _c > 1:")
+                e(f"{pad}    counters[{bidx}] = _c - 1")
+                e(f"{pad}    append(F({km}, True, {addrs}, {kb}))")
+                e(f"{pad}    produced += {cnt}")
+                e(f"{pad}    bi = {br.target}")
+                e(f"{pad}    continue")
+                e(f"{pad}counters[{bidx}] = {beh.trip}")
+                e(f"{pad}append(F({km}, False, {addrs}, {kb}))")
+            else:
+                e(f"{pad}if rng_random() < {beh.prob!r}:")
+                e(f"{pad}    append(F({km}, True, {addrs}, {kb}))")
+                e(f"{pad}    produced += {cnt}")
+                e(f"{pad}    bi = {br.target}")
+                e(f"{pad}    continue")
+                e(f"{pad}append(F({km}, False, {addrs}, {kb}))")
+        e(f"{pad}produced += {cnt}")
+        e(f"{pad}bi = {bidx + 1}")
+        e(f"{pad}continue")
+
+    if nb == 1:
+        emit_block(0, "        ")
+    else:
+        for bidx in range(nb):
+            kw = "if" if bidx == 0 else (
+                "elif" if bidx < nb - 1 else "else")
+            cond = f" bi == {bidx}" if kw != "else" else ""
+            e(f"        {kw}{cond}:")
+            emit_block(bidx, "            ")
+    for gi, kind in enumerate(kinds):
+        if kind == "stream":
+            e(f"    g{gi}.pos = pos{gi}")
+    e("    self._bi = bi")
+    # patch in the constant unpack now that every record is bound.
+    if names:
+        L[1:1] = [f"    ({', '.join(names)},) = _CONSTS"]
+    return "\n".join(L) + "\n", consts
+
+
+#: id(program) -> (program, compiled filler); the ref pins the id.
+_FILL_FNS: dict = {}
+
+
+def _fill_fn_for(program):
+    """Resolve (building if needed) the specialized filler for a
+    program; the compiled function is shared by every stream over it."""
+    ent = _FILL_FNS.get(id(program))
+    if ent is not None:
+        return ent[1]
+    src, consts = _fill_source(program)
+    namespace = {"Fetch": Fetch, "_CONSTS": tuple(consts)}
+    exec(src, namespace)  # noqa: S102 - self-generated source
+    fn = namespace["_fill_compiled"]
+    if len(_FILL_FNS) >= 256:
+        _FILL_FNS.clear()
+    _FILL_FNS[id(program)] = (program, fn)
+    return fn

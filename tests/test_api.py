@@ -97,6 +97,15 @@ class TestSessionVerbs:
                           store=str(tmp_path / "run")).sweep(2, ["LLLL"])
         assert resumed.to_json() == result.to_json()
 
+    def test_session_store_records_cell_meta(self, machine, tmp_path):
+        # the session's cell-cache wrapper must pass engine metadata
+        # through to the persistent store, not swallow it
+        session = Session(machine=machine, config=TINY,
+                          store=str(tmp_path / "run"))
+        session.sweep(2, ["LLLL"])
+        meta = session.store.load_cell_meta("sweep2")
+        assert meta and all("engine_stats" in m for m in meta.values())
+
     def test_save_persists_artifact(self, machine, tmp_path):
         session = Session(machine=machine, store=str(tmp_path / "run"))
         session.run("fig9", save=True)

@@ -101,8 +101,20 @@ class TestBackendRoundTrip:
     def test_reads_do_not_create_storage(self, kind, tmp_path):
         backend = _backend(kind, tmp_path, "probe")
         assert backend.load_cells("x") == {}
+        assert backend.load_cell_meta("x") == {}
         assert backend.experiments_with_cells() == []
         assert not os.path.exists(backend.path)
+
+    def test_cell_meta_round_trip(self, kind, tmp_path):
+        backend = _backend(kind, tmp_path, "meta")
+        meta = {"engine": "jit",
+                "engine_stats": {"memo_hits": 3, "fallback_runs": 0}}
+        backend.save_cell_meta("fig10", "workload:LLLL:3CCC:base", meta)
+        backend.save_cell_meta("fig10", "workload:LLLL:3CCC:base", meta)
+        fresh = open_backend(backend.url)
+        assert fresh.load_cell_meta("fig10") == {
+            "workload:LLLL:3CCC:base": meta}
+        assert fresh.load_cell_meta("other") == {}
 
 
 class TestBackendParity:

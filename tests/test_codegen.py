@@ -1,0 +1,172 @@
+"""Generated cycle-loop codegen: keys, caches, decision equivalence.
+
+The JIT engine's correctness rests on two contracts checked here at the
+codegen layer (the engine-level differential suite covers the rest):
+
+* the generated source is a pure function of its shape key — same
+  inputs, byte-identical source, so the disk cache can be shared by
+  concurrent workers and across processes;
+* the inlined selection tree makes exactly the decisions of
+  ``SchemePlan.select_ports`` for every ready pattern and every
+  rotation (a hypothesis property over real instruction summaries).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import paper_machine
+from repro.kernels import by_name, compile_spec
+from repro.merge import get_scheme
+from repro.merge.packet import MergeRules
+from repro.sim import codegen
+from repro.sim.cache import Cache, CacheConfig, PerfectCache
+from repro.sim.codegen import (
+    LoopCache,
+    _select_tree_lines,
+    get_loop_cache,
+    loop_source,
+    set_loop_cache_dir,
+    source_key,
+)
+
+MACHINE = paper_machine()
+RULES = MergeRules(MACHINE)
+I_DESC = codegen.cache_descriptor(PerfectCache())
+D_DESC = codegen.cache_descriptor(Cache(CacheConfig()))
+
+#: schemes with distinct tree shapes: pure SMT / pure CSMT cascades,
+#: mixed, parallel-CSMT and a 2-port block.
+TREE_SCHEMES = ("3SSS", "3CCC", "2SC3", "2SS", "2CC", "2CS", "1C")
+
+
+def _shape(name: str):
+    scheme = get_scheme(name)
+    plan = scheme.compile(RULES)
+    return scheme, plan, scheme.port_permutations()
+
+
+def _loop_args(name: str, rotate: bool = True):
+    scheme, plan, perms = _shape(name)
+    return (scheme.n_ports, perms, plan.steps, RULES.caps_high,
+            RULES.high, I_DESC, D_DESC,
+            MACHINE.taken_branch_penalty, rotate)
+
+
+class TestSourceKey:
+    def test_source_is_deterministic(self):
+        args = _loop_args("2SC3")
+        assert loop_source(*args) == loop_source(*args)
+        assert source_key(*args) == source_key(*args)
+
+    def test_key_separates_shapes(self):
+        keys = {source_key(*_loop_args(n)) for n in TREE_SCHEMES}
+        assert len(keys) == len(TREE_SCHEMES)  # steps are in the key
+        base = _loop_args("3CCC")
+        assert source_key(*base) != source_key(*_loop_args("3CCC", False))
+        tweaked = base[:7] + (base[7] + 1, base[8])
+        assert source_key(*base) != source_key(*tweaked)  # branch penalty
+
+    def test_generated_source_carries_shape_header(self):
+        src = loop_source(*_loop_args("3SSS"))
+        assert "# scheme: steps=" in src
+        assert "def _jit_loop" in src
+
+
+class TestLoopCache:
+    def test_memory_then_disk_hits(self, tmp_path):
+        args = _loop_args("3CCC")
+        cache = LoopCache(str(tmp_path))
+        fn = cache.get(*args)
+        assert (cache.compiles, cache.memory_hits, cache.disk_hits) \
+            == (1, 0, 0)
+        assert cache.get(*args) is fn
+        assert cache.memory_hits == 1
+        # a second cache over the same directory loads the stored
+        # source instead of regenerating (what pool workers share).
+        other = LoopCache(str(tmp_path))
+        other.get(*args)
+        assert (other.compiles, other.disk_hits) == (0, 1)
+        assert cache.compile_seconds > 0
+        assert set(cache.stats()) == {"compiles", "memory_hits",
+                                      "disk_hits", "compile_seconds",
+                                      "directory"}
+
+    def test_memory_cap_drops_and_recompiles_from_disk(self, tmp_path):
+        cache = LoopCache(str(tmp_path))
+        cache._FN_CAP = 2
+        for name in ("3CCC", "3SSS", "2SC3"):
+            cache.get(*_loop_args(name))
+        assert len(cache._fns) <= 2
+        cache.get(*_loop_args("3CCC"))  # evicted: reload from disk
+        assert cache.disk_hits >= 1
+
+    def test_set_loop_cache_dir_redirects_default(self, tmp_path):
+        prev = get_loop_cache().directory
+        try:
+            cache = set_loop_cache_dir(str(tmp_path))
+            assert cache is get_loop_cache()
+            assert cache.directory == str(tmp_path)
+        finally:
+            set_loop_cache_dir(prev)
+
+
+# -- decision equivalence ---------------------------------------------------
+
+def _mop_pool():
+    """Real instruction summaries (mask, packed) from a compiled bench."""
+    prog = compile_spec(by_name("mcf"), MACHINE)
+    pool, seen = [], set()
+    for blk in prog.blocks:
+        for mop in blk.mops:
+            if (mop.mask, mop.packed) not in seen:
+                seen.add((mop.mask, mop.packed))
+                pool.append(mop)
+    return pool
+
+
+MOP_POOL = _mop_pool()
+_TREE_FNS: dict = {}
+
+
+def _tree_fn(name: str, perm, mask: int):
+    """Compile one (scheme, rotation, ready-mask) selection tree."""
+    key = (name, perm, mask)
+    fn = _TREE_FNS.get(key)
+    if fn is None:
+        _scheme, plan, _perms = _shape(name)
+        n = len(perm)
+        lines = ["def _tree(" + ", ".join(f"mop{s}" for s in range(n))
+                 + "):"]
+        lines += _select_tree_lines(
+            perm, mask, plan.steps, RULES.caps_high, RULES.high, "    ",
+            lambda sel, pad: [f"{pad}return {sel!r}"])
+        namespace: dict = {}
+        exec("\n".join(lines), namespace)  # noqa: S102 - generated test fn
+        fn = _TREE_FNS[key] = namespace["_tree"]
+    return fn
+
+
+class TestDecisionEquivalence:
+    """The inlined tree == ``SchemePlan.select_ports``, decision for
+    decision, over real instruction summaries."""
+
+    @settings(max_examples=400, deadline=None)
+    @given(data=st.data())
+    def test_tree_matches_select_ports(self, data):
+        name = data.draw(st.sampled_from(TREE_SCHEMES))
+        scheme, plan, perms = _shape(name)
+        n = scheme.n_ports
+        perm = data.draw(st.sampled_from(list(perms)))
+        mask = data.draw(st.integers(min_value=1, max_value=(1 << n) - 1))
+        mops = [data.draw(st.sampled_from(MOP_POOL)) for _ in range(n)]
+        got = _tree_fn(name, tuple(perm), mask)(*mops)
+        args = []
+        for port in range(n):
+            slot = perm[port]
+            if mask & (1 << slot):
+                args += [mops[slot].mask, mops[slot].packed]
+            else:
+                args += [-1, 0]
+        assert got == plan.select_ports(*args)

@@ -1,11 +1,12 @@
 """Engine layer: protocol, differential bit-identity, fast-path guards.
 
 The differential suite is the contract that makes the engine layer safe:
-``FastEngine`` must produce bit-identical ``SimStats``, per-thread
-counters and cache counters to ``ReferenceEngine`` for every scheme in
-the registry on every Table 2 workload, including OS-scheduler
-multiprogramming runs (schemes with fewer ports than software threads
-context-switch every timeslice).
+``FastEngine`` and ``JitEngine`` must produce bit-identical
+``SimStats``, per-thread counters and cache counters to
+``ReferenceEngine`` for every scheme in the registry on every Table 2
+workload, including OS-scheduler multiprogramming runs (schemes with
+fewer ports than software threads context-switch every timeslice) and
+8-thread schemes from the sweep enumerator.
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ from repro.merge import PAPER_SCHEMES, get_scheme
 from repro.sim import (
     ENGINES,
     FastEngine,
+    JitEngine,
     MTCore,
     ReferenceEngine,
     SimConfig,
@@ -39,6 +41,9 @@ ALL_SCHEMES = ["ST", "1S"] + PAPER_SCHEMES
 #: small but representative: real caches, warmup, timeslice switching.
 DIFF_CONFIG = SimConfig(instr_limit=300, timeslice=150, warmup_instrs=60)
 
+#: every accelerated engine is differentially tested against reference.
+ACCEL_ENGINES = ("fast", "jit")
+
 
 def _fingerprint(result):
     """Everything the simulator reports, in comparable form."""
@@ -57,57 +62,79 @@ def _run(programs, scheme, config, engine):
 
 
 class TestDifferential:
-    """FastEngine == ReferenceEngine, bit for bit."""
+    """FastEngine == JitEngine == ReferenceEngine, bit for bit."""
 
+    @pytest.mark.parametrize("engine", ACCEL_ENGINES)
     @pytest.mark.parametrize("workload", WORKLOAD_ORDER)
-    def test_full_registry_on_workload(self, workload):
+    def test_full_registry_on_workload(self, workload, engine):
         programs = workload_programs(workload, MACHINE)
         for scheme in ALL_SCHEMES:
             ref = _run(programs, scheme, DIFF_CONFIG, "reference")
-            fast = _run(programs, scheme, DIFF_CONFIG, "fast")
-            assert ref == fast, f"{workload}/{scheme} diverged"
+            accel = _run(programs, scheme, DIFF_CONFIG, engine)
+            assert ref == accel, f"{workload}/{scheme}/{engine} diverged"
 
-    def test_multiprogramming_context_switches(self):
+    @pytest.mark.parametrize("engine", ACCEL_ENGINES)
+    def test_multiprogramming_context_switches(self, engine):
         """ST and 1S run 4 software threads on 1-2 contexts: the OS
-        scheduler swaps threads every timeslice on both engines."""
+        scheduler swaps threads every timeslice on all engines."""
         programs = workload_programs("LLMH", MACHINE)
         for scheme in ("ST", "1S"):
-            cfg = dataclasses.replace(DIFF_CONFIG, engine="fast")
+            cfg = dataclasses.replace(DIFF_CONFIG, engine=engine)
             res = run_workload(programs, scheme, cfg)
             assert res.stats.context_switches > 0
             assert _run(programs, scheme, DIFF_CONFIG, "reference") == \
                 _fingerprint(res)
 
-    def test_perfect_caches(self):
+    @pytest.mark.parametrize("engine", ACCEL_ENGINES)
+    def test_perfect_caches(self, engine):
         programs = workload_programs("MMHH", MACHINE)
         cfg = dataclasses.replace(DIFF_CONFIG, perfect_icache=True,
                                   perfect_dcache=True)
         for scheme in ("ST", "1S", "2SC3", "3SSS"):
             assert _run(programs, scheme, cfg, "reference") == \
-                _run(programs, scheme, cfg, "fast")
+                _run(programs, scheme, cfg, engine)
 
-    def test_no_warmup_and_other_seed(self):
+    @pytest.mark.parametrize("engine", ACCEL_ENGINES)
+    def test_no_warmup_and_other_seed(self, engine):
         programs = workload_programs("LLHH", MACHINE)
         cfg = SimConfig(instr_limit=250, timeslice=100, warmup_instrs=0,
                         seed=42)
         for scheme in ("1S", "3CCC", "2SS"):
             assert _run(programs, scheme, cfg, "reference") == \
-                _run(programs, scheme, cfg, "fast")
+                _run(programs, scheme, cfg, engine)
 
-    def test_no_rotation(self):
+    @pytest.mark.parametrize("engine", ACCEL_ENGINES)
+    def test_no_rotation(self, engine):
         programs = workload_programs("LLLL", MACHINE)
         cfg = dataclasses.replace(DIFF_CONFIG, rotate_priority=False)
         for scheme in ("3CCC", "3SSS"):
             assert _run(programs, scheme, cfg, "reference") == \
-                _run(programs, scheme, cfg, "fast")
+                _run(programs, scheme, cfg, engine)
 
-    def test_max_cycles_timeslice_boundary(self):
-        """Both engines must consume cycle budgets identically."""
+    @pytest.mark.parametrize("engine", ACCEL_ENGINES)
+    def test_max_cycles_timeslice_boundary(self, engine):
+        """All engines must consume cycle budgets identically."""
         programs = workload_programs("MMMM", MACHINE)
         for max_cycles in (1, 7, 150, 1543):
             cfg = dataclasses.replace(DIFF_CONFIG, max_cycles=max_cycles)
             assert _run(programs, "1S", cfg, "reference") == \
-                _run(programs, "1S", cfg, "fast")
+                _run(programs, "1S", cfg, engine)
+
+    def test_eight_thread_enumerator_sample(self):
+        """8-thread schemes from the sweep enumerator (``@8``-qualified
+        names parse to the same trees) run 8 software threads on up to
+        8 ports — the wide-merge path no 4-thread test reaches."""
+        programs = workload_programs("LLMH", MACHINE) \
+            + workload_programs("HHHH", MACHINE)
+        from repro.eval.sweep import enumerate_names
+        names = enumerate_names(8)
+        sample = [names[i] for i in range(0, len(names), len(names) // 7)]
+        sample += ["C8@8", "2SC7@8", "7SSSSSSS@8"]  # explicit qualifiers
+        for scheme in sample:
+            ref = _run(programs, scheme, DIFF_CONFIG, "reference")
+            for engine in ACCEL_ENGINES:
+                accel = _run(programs, scheme, DIFF_CONFIG, engine)
+                assert ref == accel, f"8T/{scheme}/{engine} diverged"
 
     def test_tiny_memo_forces_eviction(self):
         """A minuscule memo bound exercises the clear-on-full path
@@ -125,25 +152,32 @@ class TestDifferential:
             return (dataclasses.asdict(core.stats),
                     [(t.issued_instrs, t.issued_ops) for t in ts])
 
-        assert build(ReferenceEngine()) == build(FastEngine(memo_limit=8))
+        expect = build(ReferenceEngine())
+        assert expect == build(FastEngine(memo_limit=8))
+        assert expect == build(JitEngine(memo_limit=8))
 
 
 class TestEngineProtocol:
     def test_registry_contents(self):
-        assert set(ENGINES) == {"reference", "fast"}
+        assert set(ENGINES) == {"reference", "fast", "jit"}
 
     def test_make_engine_from_name_class_instance(self):
         assert isinstance(make_engine("fast"), FastEngine)
         assert isinstance(make_engine("reference"), ReferenceEngine)
+        assert isinstance(make_engine("jit"), JitEngine)
         assert isinstance(make_engine(FastEngine), FastEngine)
         engine = FastEngine()
         assert make_engine(engine) is engine
 
     def test_make_engine_rejects_unknown(self):
-        with pytest.raises(KeyError, match="unknown engine"):
+        with pytest.raises(ValueError, match="unknown engine.*fast"):
             make_engine("warp")
         with pytest.raises(TypeError):
             make_engine(42)
+
+    def test_config_rejects_unknown_engine_at_construction(self):
+        with pytest.raises(ValueError, match="unknown engine.*jit"):
+            SimConfig(engine="warp")
 
     def test_core_default_engine_is_fast(self):
         core = MTCore(MACHINE, get_scheme("ST"), PerfectCache(),
@@ -156,6 +190,74 @@ class TestEngineProtocol:
                         engine="reference")
         res = run_workload([prog], "ST", cfg)
         assert res.stats.cycles > 0  # ran through the reference engine
+
+
+class TestJitEngine:
+    """JIT-specific behaviors: fallback, codegen caching, stats."""
+
+    def test_partially_occupied_contexts_fall_back(self):
+        """One program on a 4-port scheme leaves contexts None; the jit
+        engine must delegate the timeslice and still match reference."""
+        prog = compile_spec(by_name("mcf"), MACHINE)
+        cfg = dataclasses.replace(DIFF_CONFIG, engine="jit")
+        res = run_workload([prog], "3SSS", cfg)
+        assert _run([prog], "3SSS", DIFF_CONFIG, "reference") == \
+            _fingerprint(res)
+
+    def test_unsupported_cache_type_falls_back(self):
+        """A cache type the generator does not model forces fallback —
+        results still bit-identical via the internal fast engine."""
+
+        class OddCache(Cache):
+            pass
+
+        programs = workload_programs("LLLL", MACHINE)
+        scheme = get_scheme("3CCC")
+
+        def build(engine):
+            core = MTCore(MACHINE, scheme, OddCache(CacheConfig()),
+                          OddCache(CacheConfig()), engine=engine)
+            ts = [ThreadState(p, sw_id=i, seed=1 + 17 * i)
+                  for i, p in enumerate(programs)]
+            core.set_contexts(ts)
+            core.run(2_000, instr_limit=400)
+            return dataclasses.asdict(core.stats)
+
+        jit = JitEngine()
+        assert build(ReferenceEngine()) == build(jit)
+        assert jit.engine_stats().fallback_runs > 0
+
+    def test_engine_stats_shape_on_all_engines(self):
+        programs = workload_programs("LLLL", MACHINE)
+        for name in ENGINES:
+            engine = make_engine(name)
+            core = MTCore(MACHINE, get_scheme("3CCC"),
+                          Cache(CacheConfig()), Cache(CacheConfig()),
+                          engine=engine)
+            ts = [ThreadState(p, sw_id=i, seed=1 + 17 * i)
+                  for i, p in enumerate(programs)]
+            core.set_contexts(ts)
+            core.run(2_000, instr_limit=400)
+            stats = engine.engine_stats()
+            assert stats.engine == name
+            d = stats.as_dict()
+            assert set(d) == {
+                "engine", "memo_hits", "memo_misses", "memo_drops",
+                "codegen_memory_hits", "codegen_disk_hits",
+                "codegen_compiles", "compile_seconds", "fallback_runs",
+            }
+        # the jit run above either compiled its loop or reused a
+        # process-wide cached one — the counters must say which.
+        assert d["codegen_compiles"] + d["codegen_memory_hits"] \
+            + d["codegen_disk_hits"] >= 1
+
+    def test_run_result_carries_engine_stats(self):
+        programs = workload_programs("LLLL", MACHINE)
+        cfg = dataclasses.replace(DIFF_CONFIG, engine="jit")
+        res = run_workload(programs, "3CCC", cfg)
+        assert res.engine_stats is not None
+        assert res.engine_stats["engine"] == "jit"
+        assert res.engine_stats["fallback_runs"] == 0
 
 
 class TestFastPaths:

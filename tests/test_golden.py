@@ -2,7 +2,7 @@
 
 ``tests/golden/`` checks in the JSON artifacts of every simulation-heavy
 experiment at a tiny scale.  This suite re-runs each of them under
-*both* engines and compares the serialized result byte-for-byte against
+*every* engine and compares the serialized result byte-for-byte against
 the corpus — the net that catches any engine, runner, scheme or
 statistics refactor that shifts a single reported value (or merely the
 JSON formatting).  Intentional changes regenerate the corpus with
@@ -46,7 +46,7 @@ class TestCorpusFiles:
         assert set(GOLDEN_EXPERIMENTS) == SIM_EXPERIMENTS - derived
 
 
-@pytest.mark.parametrize("engine", ["fast", "reference"])
+@pytest.mark.parametrize("engine", ["fast", "reference", "jit"])
 @pytest.mark.parametrize("name", GOLDEN_EXPERIMENTS)
 def test_artifact_matches_golden_bytes(name, engine):
     config = default_config(GOLDEN_SCALE, engine=engine)

@@ -210,8 +210,8 @@ class TestWorkerLoop:
         init_queue(url, SPEC)
         executed = []
         monkeypatch.setattr(
-            "repro.eval.queue.run_cell",
-            lambda cell, config, machine: executed.append(cell.key) or 1.0)
+            "repro.eval.queue.run_cell_detailed",
+            lambda cell, config, machine: executed.append(cell.key) or (1.0, {}))
         report = run_worker(url, worker_id="w1")
         assert report.executed == 2 and report.failed == 0
         assert sorted(executed) == sorted(c.key for c in SPEC.cells())
@@ -229,13 +229,13 @@ class TestWorkerLoop:
         executed: list[str] = []
         lock = threading.Lock()
 
-        def fake_run_cell(cell, config, machine):
+        def fake_run_cell_detailed(cell, config, machine):
             with lock:
                 executed.append(cell.key)
             time.sleep(0.002)  # encourage interleaving
-            return 1.0
+            return 1.0, {}
 
-        monkeypatch.setattr("repro.eval.queue.run_cell", fake_run_cell)
+        monkeypatch.setattr("repro.eval.queue.run_cell_detailed", fake_run_cell_detailed)
         reports = []
         threads = [threading.Thread(
             target=lambda i=i: reports.append(
@@ -260,8 +260,8 @@ class TestWorkerLoop:
         abandoned = crashed.claim("crashed", ttl=300)
         assert abandoned is not None
         crashed.close()
-        monkeypatch.setattr("repro.eval.queue.run_cell",
-                            lambda cell, config, machine: 1.0)
+        monkeypatch.setattr("repro.eval.queue.run_cell_detailed",
+                            lambda cell, config, machine: (1.0, {}))
         time.sleep(0.06)
         report = run_worker(url, worker_id="rescuer", ttl=0.05, poll=0.01)
         assert report.executed == 2
@@ -278,9 +278,9 @@ class TestWorkerLoop:
         def flaky(cell, config, machine):
             if cell.key == bad_key:
                 raise RuntimeError("transient blowup")
-            return 1.0
+            return 1.0, {}
 
-        monkeypatch.setattr("repro.eval.queue.run_cell", flaky)
+        monkeypatch.setattr("repro.eval.queue.run_cell_detailed", flaky)
         report = run_worker(url, worker_id="w1")
         assert report.executed == 1 and report.failed == 1
         status = queue_status(url)
@@ -288,8 +288,8 @@ class TestWorkerLoop:
         (row,) = status.failed
         assert "transient blowup" in row["error"]
         # operator fixes the cause, reopens, re-drains
-        monkeypatch.setattr("repro.eval.queue.run_cell",
-                            lambda cell, config, machine: 1.0)
+        monkeypatch.setattr("repro.eval.queue.run_cell_detailed",
+                            lambda cell, config, machine: (1.0, {}))
         assert reset_failed(url) == 1
         assert run_worker(url, worker_id="w2").executed == 1
         assert queue_status(url).drained
@@ -300,8 +300,8 @@ class TestWorkerLoop:
         init_queue(url, SPEC)
         holder = QueueBackend(str(tmp_path / "camp.db"))
         held = holder.claim("other-worker", ttl=300)
-        monkeypatch.setattr("repro.eval.queue.run_cell",
-                            lambda cell, config, machine: 1.0)
+        monkeypatch.setattr("repro.eval.queue.run_cell_detailed",
+                            lambda cell, config, machine: (1.0, {}))
         report = run_worker(url, worker_id="w1", wait=False)
         assert report.executed == 1  # only the remaining open cell
         assert held["key"] not in report.keys
@@ -310,8 +310,8 @@ class TestWorkerLoop:
     def test_max_cells_bounds_a_worker(self, tmp_path, monkeypatch):
         url = _url(tmp_path)
         init_queue(url, SPEC)
-        monkeypatch.setattr("repro.eval.queue.run_cell",
-                            lambda cell, config, machine: 1.0)
+        monkeypatch.setattr("repro.eval.queue.run_cell_detailed",
+                            lambda cell, config, machine: (1.0, {}))
         assert run_worker(url, max_cells=1).executed == 1
         assert queue_status(url).counts["open"] == 1
 

@@ -133,6 +133,25 @@ class TestRunStore:
         assert RunStore(store.path).load_cells("figX") == {
             "workload:LLLL:ST:base": 1.25}
 
+    def test_grid_records_cell_meta(self, tmp_path, machine):
+        """Executed cells leave diagnostic metadata (engine + stats)
+        beside their values — resume neither needs nor re-writes it."""
+        cfg = SimConfig(instr_limit=300, timeslice=150, warmup_instrs=60,
+                        engine="jit")
+        store = RunStore.open_or_create(tmp_path / "r")
+        cells = [Cell("figX", "workload", "LLLL", s)
+                 for s in ("1S", "3CCC")]
+        run_cells(cells, cfg, machine, store=store)
+        meta = store.load_cell_meta("figX")
+        assert set(meta) == {c.key for c in cells}
+        entry = meta[cells[1].key]
+        assert entry["engine"] == "jit"
+        assert entry["engine_stats"]["fallback_runs"] == 0
+        # resumed runs execute nothing and leave the metadata alone
+        again = run_cells(cells, cfg, machine, store=RunStore(store.path))
+        assert again.executed == 0
+        assert RunStore(store.path).load_cell_meta("figX") == meta
+
     def test_artifact_roundtrip(self, tmp_path, machine):
         store = RunStore.open_or_create(tmp_path / "r")
         result, _ = run_experiment("fig9", machine=machine)

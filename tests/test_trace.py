@@ -184,9 +184,12 @@ class TestMaterialize:
         s = InstructionStream(prog, 0, seed=0)
         assert s.buffered == 0
         s.materialize(10)
-        assert s.buffered == 10
+        # the batch walk stops at a basic-block boundary, so at least
+        # the requested count is buffered (possibly a few more).
+        n = s.buffered
+        assert n >= 10
         next(s)
-        assert s.buffered == 9
+        assert s.buffered == n - 1
 
     def test_materialize_after_lazy_consumption(self):
         """A stream already walked by next() keeps its position when a
