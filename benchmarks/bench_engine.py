@@ -8,13 +8,23 @@ and overall.  Engines are bit-identical in every reported statistic
 (enforced by ``tests/test_engine.py``), so the cycle counts agree by
 construction and the comparison is pure wall-clock.
 
+The ``batch`` engine is measured differently: its payoff is
+amortizing python dispatch across many compatible cells, so instead of
+per-cell timings it gets a ``campaign`` class — a whole sweep
+(machine shapes x Table 2 workloads x the 17-scheme sweep) timed as a
+serial jit loop vs one grouped ``run_workloads_batch`` call, reported
+in cells/second.  Its ``geomean_by_class['campaign']`` is the
+batch-over-jit throughput ratio (baseline ``jit``, not reference), so
+CI gates it with an absolute floor: ``--floor batch:campaign:2.0``.
+
 The output file is a *trajectory*: one ``generations`` entry per
 engine, upserted in place, so regenerating after an optimization
 updates that engine's entry and leaves the others as history::
 
     {"benchmark": "bench_engine", "config": {...},
      "generations": [{"engine": "fast",  "geomean_by_class": {...}, ...},
-                     {"engine": "jit",   "geomean_by_class": {...}, ...}]}
+                     {"engine": "jit",   "geomean_by_class": {...}, ...},
+                     {"engine": "batch", "baseline": "jit", ...}]}
 
 Pre-trajectory flat reports (a top-level ``cells`` list) are migrated
 to a single ``fast`` generation on first rewrite.
@@ -26,6 +36,8 @@ Two front ends:
 
       python benchmarks/bench_engine.py --out BENCH_engine.json
       python benchmarks/bench_engine.py --engines jit --classes multithreaded
+      python benchmarks/bench_engine.py --engines batch --classes campaign \\
+          --scale 0.1 --check --floor batch:campaign:2.0
       python benchmarks/bench_engine.py --scale 0.1 --check \\
           --baseline BENCH_engine.json --tolerance 0.25 \\
           --floor jit:multithreaded:2.0 --floor jit/fast:multithreaded:1.2
@@ -63,8 +75,19 @@ from repro.kernels import by_name, compile_spec
 from repro.sim import run_workload
 from repro.workloads import workload_programs
 
-#: engines measured against the reference baseline, oldest first.
+#: engines measured per cell against the reference baseline, oldest first.
 ENGINES = ("fast", "jit")
+
+#: the campaign engine.  Its win is amortization across cells, so it is
+#: measured on whole sweeps (cells/second vs a serial jit run) in the
+#: ``campaign`` class rather than per cell against reference.
+CAMPAIGN_ENGINE = "batch"
+
+#: campaign sweep machine matrix: (clusters, issue width) passed to
+#: ``repro.arch.scaled_machine``.  Seven machine shapes x 9 Table 2
+#: workloads x the 17-scheme sweep = 1071 cells; the breadth matters
+#: because batch amortizes python dispatch across every compatible cell.
+CAMPAIGN_MACHINES = ((4, 3), (4, 4), (4, 5), (2, 4), (6, 4), (2, 3), (6, 5))
 
 #: single-thread baseline cells (Table 1 benchmarks on one context).
 DEFAULT_BENCHES = ("mcf", "bzip2", "djpeg", "x264")
@@ -73,7 +96,7 @@ DEFAULT_BENCHES = ("mcf", "bzip2", "djpeg", "x264")
 DEFAULT_WORKLOADS = ("LLLL", "LLMH", "HHHH")
 DEFAULT_SCHEMES = ("1S", "3CCC", "2SC3", "3SSS")
 
-CLASSES = ("single-thread", "multithreaded")
+CLASSES = ("single-thread", "multithreaded", "campaign")
 
 
 def default_cells(benches=DEFAULT_BENCHES, workloads=DEFAULT_WORKLOADS,
@@ -130,50 +153,171 @@ def measure_cell(cell: dict, config, machine, engines=ENGINES,
 
 def _geomean(values) -> float:
     values = list(values)
-    return math.exp(sum(math.log(v) for v in values) / len(values)) \
-        if values else 0.0
+    if not values:
+        # a 0.0 placeholder used to leak into geomean_by_class and read
+        # as a catastrophic regression; empty classes must be omitted
+        # upstream, never averaged.
+        raise ValueError("geomean of an empty sequence")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
 def _generation(measured: list[dict], engine: str) -> dict:
-    """One engine's trajectory entry, derived from the measured grid."""
-    classes = sorted({c["class"] for c in measured})
+    """One engine's trajectory entry, derived from the measured grid.
+
+    ``geomean_by_class`` only carries classes that actually have
+    measured cells — an empty class is omitted, not reported as 0.0.
+    """
     cells = [
         {**{k: c[k] for k in ("workload", "scheme", "class")},
          "reference": c["reference"], engine: c[engine],
          "speedup": c["speedups"][engine]}
         for c in measured
     ]
+    by_class: dict[str, list[float]] = {}
+    for c in cells:
+        by_class.setdefault(c["class"], []).append(c["speedup"])
     speedups = [c["speedup"] for c in cells]
     return {
         "engine": engine,
         "cells": cells,
         "geomean_speedup": round(_geomean(speedups), 3),
         "geomean_by_class": {
-            cls: round(_geomean(c["speedup"] for c in cells
-                                if c["class"] == cls), 3)
-            for cls in classes
+            cls: round(_geomean(v), 3)
+            for cls, v in sorted(by_class.items())
         },
         "max_speedup": max(speedups),
     }
 
 
+def measure_campaign(config, machines=CAMPAIGN_MACHINES,
+                     repeats: int = 1) -> dict:
+    """Time one campaign sweep: serial jit vs grouped batch.
+
+    Builds the ``machines`` x Table 2 workloads x 17-scheme grid, runs
+    it once per engine strategy — a per-cell jit loop (what a serial
+    campaign does today) vs one grouped ``run_workloads_batch`` call
+    with ST cells falling back to solo jit (what the batch runner
+    does) — and reports cells/second for each.  Every cell's IPC must
+    agree between the two runs, so the comparison is pure wall-clock.
+
+    Run this at campaign scale (``--scale 0.1``-ish): short cells are
+    the batch engine's operating regime — python dispatch per cell is
+    what it amortizes.  At full-scale run lengths the jit engine's
+    compiled per-cell loops amortize the same overhead themselves and
+    the two converge (~1x).
+    """
+    from repro.arch import scaled_machine
+    from repro.merge.registry import PAPER_SCHEMES
+    from repro.sim.batch import run_workloads_batch
+    from repro.workloads import WORKLOAD_ORDER, workload_specs
+
+    schemes = ["ST", "1S"] + list(PAPER_SCHEMES)
+    jit_cfg = dataclasses.replace(config, engine="jit")
+    tasks = []
+    for clusters, width in machines:
+        m = scaled_machine(clusters, width)
+        progs = {wl: [compile_spec(s, m) for s in workload_specs(wl)]
+                 for wl in WORKLOAD_ORDER}
+        tasks += [(progs[wl], s)
+                  for wl in WORKLOAD_ORDER for s in schemes]
+    multi = [(i, t) for i, t in enumerate(tasks) if t[1] != "ST"]
+    solo = [(i, t) for i, t in enumerate(tasks) if t[1] == "ST"]
+    for _, (p, s) in multi[:len(schemes)]:  # warm the jit loop cache
+        run_workload(p, s, jit_cfg)
+
+    best = {"jit": math.inf, "batch": math.inf}
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        jit_ipc = [run_workload(p, s, jit_cfg).ipc for p, s in tasks]
+        best["jit"] = min(best["jit"], time.perf_counter() - t0)
+
+        batch_ipc = [None] * len(tasks)
+        t0 = time.perf_counter()
+        results = run_workloads_batch([t for _, t in multi], config)
+        for (i, (p, s)), res in zip(multi, results):
+            if res is None:  # unbatchable cell: runner falls back to jit
+                res = run_workload(p, s, jit_cfg)
+            batch_ipc[i] = res.ipc
+        for i, (p, s) in solo:
+            batch_ipc[i] = run_workload(p, s, jit_cfg).ipc
+        best["batch"] = min(best["batch"], time.perf_counter() - t0)
+
+    if batch_ipc != jit_ipc:  # defense in depth
+        bad = sum(a != b for a, b in zip(batch_ipc, jit_ipc))
+        raise AssertionError(
+            f"batch and jit disagree on {bad}/{len(tasks)} campaign cells")
+    out = {
+        "workload": "sweep",
+        "scheme": f"{len(machines)}m x {len(WORKLOAD_ORDER)}wl x "
+                  f"{len(schemes)}s",
+        "class": "campaign",
+        "cells": len(tasks),
+        "speedup": round(best["jit"] / best["batch"], 3),
+    }
+    for engine in ("jit", "batch"):
+        out[engine] = {
+            "seconds": round(best[engine], 6),
+            "cells_per_sec": round(len(tasks) / best[engine], 2),
+        }
+    return out
+
+
+def _campaign_generation(measured: list[dict]) -> dict:
+    """The batch engine's trajectory entry.
+
+    ``geomean_by_class['campaign']`` IS the batch-over-jit
+    cells-per-second ratio (the baseline is a serial jit run, not
+    reference), so an absolute ``--floor batch:campaign:N`` gates the
+    campaign throughput multiple directly.
+    """
+    speedups = [c["speedup"] for c in measured]
+    return {
+        "engine": CAMPAIGN_ENGINE,
+        "baseline": "jit",
+        "cells": measured,
+        "geomean_speedup": round(_geomean(speedups), 3),
+        "geomean_by_class": {"campaign": round(_geomean(speedups), 3)},
+        "max_speedup": max(speedups),
+    }
+
+
 def run_grid(cells, config, machine=None, engines=ENGINES,
-             repeats: int = 3) -> dict:
-    """Measure every cell and assemble the per-generation report."""
+             repeats: int = 3, campaign: bool = False,
+             campaign_machines=CAMPAIGN_MACHINES,
+             campaign_repeats: int = 1) -> dict:
+    """Measure every cell and assemble the per-generation report.
+
+    With ``campaign=True`` a ``batch`` generation is appended,
+    measured on the whole campaign sweep (``measure_campaign``)
+    instead of per cell; ``cells`` may then be empty.
+    """
     machine = machine or paper_machine()
     engines = tuple(engines)
+    cfg_dict = {
+        "instr_limit": config.instr_limit,
+        "timeslice": config.timeslice,
+        "warmup_instrs": config.warmup_instrs,
+        "seed": config.seed,
+    }
     measured = [measure_cell(c, config, machine, engines, repeats)
                 for c in cells]
+    generations = [_generation(measured, e) for e in engines] \
+        if measured else []
+    if campaign:
+        generations.append(_campaign_generation(
+            [measure_campaign(config, campaign_machines,
+                              campaign_repeats)]))
+    for gen in generations:
+        # each generation records the config it was measured under:
+        # the campaign class runs at campaign scale (short cells are
+        # its operating regime) while the per-cell grid may not, and
+        # upserting must not let one run's config misdescribe history.
+        gen["config"] = cfg_dict
     return {
         "benchmark": "bench_engine",
-        "config": {
-            "instr_limit": config.instr_limit,
-            "timeslice": config.timeslice,
-            "warmup_instrs": config.warmup_instrs,
-            "seed": config.seed,
-        },
+        "config": cfg_dict,
         "python": platform.python_version(),
-        "generations": [_generation(measured, e) for e in engines],
+        "generations": generations,
     }
 
 
@@ -251,10 +395,14 @@ def check_report(report: dict, *, threshold: float = 1.0,
 
     * every measured engine's overall geomean must reach ``threshold``;
     * against ``baseline`` (a committed trajectory), each per-class
-      geomean may regress at most ``tolerance`` (relative);
+      geomean may regress at most ``tolerance`` (relative) — baseline
+      classes the fresh report did not measure (a narrower ``--classes``
+      run) are skipped, as are legacy 0.0 placeholders for empty
+      classes;
     * each ``floors`` entry pins an absolute per-class geomean
       (``engine:class:value``) or an engine-over-engine ratio
-      (``engineA/engineB:class:value``).
+      (``engineA/engineB:class:value``) — an explicitly named floor on
+      an unmeasured engine or class is a failure, never a silent pass.
     """
     failures = []
     fresh = {g["engine"]: g for g in report["generations"]}
@@ -270,7 +418,7 @@ def check_report(report: dict, *, threshold: float = 1.0,
                     .get("geomean_by_class", {}).items():
                 got = gen["geomean_by_class"].get(cls)
                 if got is None or value <= 0:
-                    continue
+                    continue  # class not measured fresh / legacy 0.0
                 if got < value * (1.0 - tolerance):
                     failures.append(
                         f"{engine}/{cls}: geomean {got} regressed below "
@@ -320,6 +468,13 @@ def main(argv=None) -> int:
                     help="comma list of schemes for the workload cells")
     ap.add_argument("--repeats", type=int, default=3,
                     help="timing repeats per cell (best is kept)")
+    ap.add_argument("--campaign-machines", type=int,
+                    default=len(CAMPAIGN_MACHINES),
+                    help="machine shapes in the campaign sweep (batch "
+                         "generation only; fewer = faster, less amortized)")
+    ap.add_argument("--campaign-repeats", type=int, default=1,
+                    help="timing repeats for the campaign sweep (the "
+                         "sweep is long enough that 1 is usually stable)")
     ap.add_argument("--out", default=None,
                     help="trajectory JSON to update (generations are "
                          "upserted per engine, never overwritten)")
@@ -339,10 +494,11 @@ def main(argv=None) -> int:
 
     split = (lambda s: tuple(x for x in s.split(",") if x))
     engines = split(args.engines)
-    unknown = [e for e in engines if e not in ENGINES]
+    known = ENGINES + (CAMPAIGN_ENGINE,)
+    unknown = [e for e in engines if e not in known]
     if unknown or not engines:
         print(f"error: unknown engines {unknown}; choose from "
-              f"{list(ENGINES)}", file=sys.stderr)
+              f"{list(known)}", file=sys.stderr)
         return 2
     classes = split(args.classes)
     if any(c not in CLASSES for c in classes):
@@ -354,16 +510,32 @@ def main(argv=None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    campaign = CAMPAIGN_ENGINE in engines and "campaign" in classes
+    grid_engines = tuple(e for e in engines if e != CAMPAIGN_ENGINE)
     cells = default_cells(split(args.benches), split(args.workloads),
-                          split(args.schemes), classes)
-    if not cells:
+                          split(args.schemes), classes) \
+        if grid_engines else []
+    if not cells and not campaign:
         print("error: empty benchmark grid", file=sys.stderr)
         return 2
-    report = run_grid(cells, default_config(args.scale), engines=engines,
-                      repeats=args.repeats)
+    machines = max(1, min(args.campaign_machines, len(CAMPAIGN_MACHINES)))
+    report = run_grid(cells, default_config(args.scale),
+                      engines=grid_engines, repeats=args.repeats,
+                      campaign=campaign,
+                      campaign_machines=CAMPAIGN_MACHINES[:machines],
+                      campaign_repeats=args.campaign_repeats)
 
     for gen in report["generations"]:
         engine = gen["engine"]
+        if engine == CAMPAIGN_ENGINE:
+            for c in gen["cells"]:
+                print(f"campaign [{c['scheme']}] ({c['cells']} cells): "
+                      f"jit {c['jit']['cells_per_sec']:.1f} cells/s   "
+                      f"batch {c['batch']['cells_per_sec']:.1f} cells/s   "
+                      f"{c['speedup']:.2f}x")
+            print(f"[{engine}] geomean [campaign]: "
+                  f"{gen['geomean_by_class']['campaign']:.2f}x over jit")
+            continue
         width = max(len(c["workload"]) for c in gen["cells"])
         for c in gen["cells"]:
             print(f"{c['workload']:<{width}} {c['scheme']:<5} "

@@ -268,6 +268,24 @@ class QueueBackend(SQLiteBackend):
             (error, time.time(), experiment, key))
         conn.commit()
 
+    def release(self, experiment: str, key: str,
+                error: str | None = None) -> None:
+        """Return a claimed cell to ``open`` for another attempt.
+
+        Unlike :meth:`reset`, the attempt count is kept — the claim
+        already charged it, so a cell that keeps blowing up still runs
+        out of attempts and parks as failed instead of looping forever.
+        The error text is recorded for forensics (``queue-status`` shows
+        why the cell bounced) until the next claim clears it.
+        """
+        conn = self._connect(create=True)
+        conn.execute(
+            "UPDATE queue SET status = 'open', worker = NULL, "
+            "heartbeat = NULL, claimed_at = NULL, error = ? "
+            "WHERE experiment = ? AND key = ? AND status = 'claimed'",
+            (error, experiment, key))
+        conn.commit()
+
     # -- recovery / monitoring -------------------------------------------
     def reset(self, *, failed: bool = True,
               stale_ttl: float | None = None) -> int:

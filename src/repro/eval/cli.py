@@ -103,8 +103,9 @@ def _add_sim_args(ap: argparse.ArgumentParser) -> None:
                     help="simulation length multiplier (default 1.0)")
     ap.add_argument("--engine", default="fast",
                     choices=sorted(ENGINES),
-                    help="simulation engine: 'fast' (default) or "
-                         "'reference' — bit-identical statistics, the "
+                    help="simulation engine: 'fast' (default), 'jit', "
+                         "'batch' (grouped lockstep for campaign grids) "
+                         "or 'reference' — all bit-identical, the "
                          "reference is the executable specification")
     ap.add_argument("--jobs", "-j", type=int, default=1,
                     help="worker processes for simulation grids (default 1)")
@@ -527,7 +528,11 @@ def _cmd_worker(argv) -> int:
                     help="stop after this many cells (default: drain)")
     ap.add_argument("--max-attempts", type=int, default=3,
                     help="claims a cell may burn before it is marked "
-                         "failed (default 3)")
+                         "failed (default 3; transient errors release "
+                         "the cell for retry until then)")
+    ap.add_argument("--batch-cells", type=int, default=None,
+                    help="cells to claim per execution group (default: "
+                         "32 on --engine batch campaigns, else 1)")
     ap.add_argument("--no-wait", action="store_true",
                     help="exit when nothing is claimable instead of "
                          "waiting for other workers' in-flight cells")
@@ -539,12 +544,13 @@ def _cmd_worker(argv) -> int:
                             ttl=args.ttl, poll=args.poll,
                             max_cells=args.max_cells,
                             max_attempts=args.max_attempts,
+                            batch_cells=args.batch_cells,
                             wait=not args.no_wait, progress=print)
     except (StoreMismatchError, ValueError) as exc:
         raise _CliError(str(exc)) from None
     print(f"worker {report.worker}: {report.executed} cells executed "
-          f"({report.reclaimed} reclaimed), {report.failed} failed "
-          f"[{time.time() - t0:.1f}s]")
+          f"({report.reclaimed} reclaimed, {report.released} released), "
+          f"{report.failed} failed [{time.time() - t0:.1f}s]")
     return 1 if report.failed else 0
 
 

@@ -55,7 +55,7 @@ from repro.eval.experiments import (
     cell_factory,
     default_config,
 )
-from repro.eval.runner import Cell, run_cell_detailed
+from repro.eval.runner import Cell, run_cell_detailed, run_cells_batch
 from repro.eval.store import RunStore, run_fingerprint
 from repro.eval.sweep import sweep_cells, sweep_threads
 
@@ -73,6 +73,9 @@ __all__ = [
 DEFAULT_TTL = 300.0
 #: default claims a cell may burn before it is marked failed.
 DEFAULT_MAX_ATTEMPTS = 3
+#: default cells a worker claims per group on ``--engine batch``
+#: campaigns (the lockstep loop amortizes across the whole group).
+DEFAULT_BATCH_CELLS = 32
 
 
 def _as_queue(store) -> QueueBackend:
@@ -228,7 +231,8 @@ class WorkerReport:
 
     worker: str
     executed: int = 0    # cells simulated and written back
-    failed: int = 0      # cells whose execution raised
+    failed: int = 0      # cells parked as failed (attempt cap burned)
+    released: int = 0    # claims returned to open after a transient error
     reclaimed: int = 0   # claims of cells an earlier worker abandoned
     keys: list = field(default_factory=list)  # claim order, forensics
 
@@ -243,6 +247,7 @@ def run_worker(store, *, worker_id: str | None = None,
                ttl: float = DEFAULT_TTL, poll: float = 0.5,
                max_cells: int | None = None,
                max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+               batch_cells: int | None = None,
                wait: bool = True, on_claim=None,
                progress=None) -> WorkerReport:
     """Drain a queue campaign: claim, execute, write back, heartbeat.
@@ -258,17 +263,28 @@ def run_worker(store, *, worker_id: str | None = None,
         store: queue store URL / backend / RunStore.
         worker_id: identity recorded on claims (default: host-pid-id).
         ttl: seconds without a heartbeat before another worker's claim
-            counts as abandoned.  Must exceed the slowest single cell.
+            counts as abandoned.  Must exceed the slowest single cell
+            (for batch campaigns: the slowest claimed *group*).
         poll: seconds between claim retries while waiting.
         max_cells: stop after this many claims (None = drain).
         max_attempts: claims a cell may burn before it is failed.
+        batch_cells: cells to claim per execution group.  Defaults to
+            :data:`DEFAULT_BATCH_CELLS` when the campaign runs
+            ``--engine batch`` (grouped cells advance in one lockstep
+            simulation) and to 1 otherwise.
         on_claim: test hook called as ``on_claim(cell, attempt)``
             before execution (fault injection in the recovery tests).
         progress: optional callable receiving one line per processed
             cell (the CLI passes ``print``).
 
-    Execution errors mark the cell failed (with the exception text in
-    the queue) and the worker moves on; they do not kill the worker.
+    A cell whose execution raises is *released* back to open — its
+    claim is returned for any worker (this one included) to retry, and
+    the attempt count it burned keeps counting — until ``max_attempts``
+    claims are spent, at which point it parks as failed with the
+    exception text in the queue.  Transient blowups (OOM kill, flaky
+    NFS, a truncated trace mid-refresh) therefore retry automatically;
+    deterministic ones fail after ``max_attempts`` tries.  Either way
+    the worker survives and moves on.
     """
     backend = _as_queue(store)
     spec_dict = backend.load_campaign()
@@ -278,11 +294,56 @@ def run_worker(store, *, worker_id: str | None = None,
             f"`repro-eval queue-init` first")
     spec = CampaignSpec.from_dict(spec_dict)
     config = spec.config()
+    if batch_cells is None:
+        batch_cells = DEFAULT_BATCH_CELLS if spec.engine == "batch" else 1
+    group_size = max(1, batch_cells)
     machines: dict[str, object] = {}
     report = WorkerReport(worker_id or default_worker_id())
+
+    def machine_for(cell: Cell):
+        machine = machines.get(cell.machine)
+        if machine is None:
+            machine = machines[cell.machine] = \
+                spec.machine_for(cell.machine)
+        return machine
+
+    def settle_error(claim: dict, exc: Exception) -> None:
+        error = f"{type(exc).__name__}: {exc}"
+        if claim["attempt"] < max_attempts:
+            backend.release(claim["experiment"], claim["key"], error)
+            report.released += 1
+            if progress is not None:
+                progress(f"  {claim['key']}  released for retry "
+                         f"(attempt {claim['attempt']}/{max_attempts}): "
+                         f"{error}")
+        else:
+            backend.fail(claim["experiment"], claim["key"], error)
+            report.failed += 1
+            if progress is not None:
+                progress(f"  {claim['key']}  FAILED: {error}")
+
+    def settle_value(claim: dict, value: float, meta) -> None:
+        backend.finish(claim["experiment"], claim["key"], value)
+        backend.save_cell_meta(claim["experiment"], claim["key"], meta)
+        report.executed += 1
+        if progress is not None:
+            retry = (f"  [attempt {claim['attempt']}]"
+                     if claim["attempt"] > 1 else "")
+            progress(f"  {claim['key']} = {value:.4f}{retry}")
+
+    def run_one(claim: dict) -> None:
+        cell = Cell(**claim["cell"])
+        try:
+            value, meta = run_cell_detailed(cell, config, machine_for(cell))
+        except Exception as exc:  # noqa: BLE001 - worker must survive
+            settle_error(claim, exc)
+        else:
+            settle_value(claim, value, meta)
+
     while True:
-        if max_cells is not None \
-                and report.executed + report.failed >= max_cells:
+        budget = None if max_cells is None else \
+            max_cells - (report.executed + report.failed + report.released)
+        if budget is not None and budget <= 0:
             break
         claim = backend.claim(report.worker, ttl=ttl,
                               max_attempts=max_attempts)
@@ -292,33 +353,41 @@ def run_worker(store, *, worker_id: str | None = None,
                 break
             time.sleep(poll)
             continue
-        cell = Cell(**claim["cell"])
-        if claim["attempt"] > 1:
-            report.reclaimed += 1
-        if on_claim is not None:
-            on_claim(cell, claim["attempt"])
-        try:
-            machine = machines.get(cell.machine)
-            if machine is None:
-                machine = machines[cell.machine] = \
-                    spec.machine_for(cell.machine)
-            value, meta = run_cell_detailed(cell, config, machine)
-        except Exception as exc:  # noqa: BLE001 - worker must survive
-            backend.fail(claim["experiment"], claim["key"],
-                         f"{type(exc).__name__}: {exc}")
-            report.failed += 1
-            if progress is not None:
-                progress(f"  {claim['key']}  FAILED: "
-                         f"{type(exc).__name__}: {exc}")
+        claims = [claim]
+        limit = group_size if budget is None else min(group_size, budget)
+        while len(claims) < limit:
+            extra = backend.claim(report.worker, ttl=ttl,
+                                  max_attempts=max_attempts)
+            if extra is None:
+                break
+            claims.append(extra)
+        for cl in claims:
+            if cl["attempt"] > 1:
+                report.reclaimed += 1
+            if on_claim is not None:
+                on_claim(Cell(**cl["cell"]), cl["attempt"])
+            report.keys.append(cl["key"])
+        if len(claims) == 1:
+            run_one(claims[0])
         else:
-            backend.finish(claim["experiment"], claim["key"], value)
-            backend.save_cell_meta(claim["experiment"], claim["key"], meta)
-            report.executed += 1
-            if progress is not None:
-                retry = (f"  [attempt {claim['attempt']}]"
-                         if claim["attempt"] > 1 else "")
-                progress(f"  {claim['key']} = {value:.4f}{retry}")
-        report.keys.append(claim["key"])
+            # grouped lockstep execution, one group per machine tag;
+            # a group-wide blowup falls back to per-cell execution so
+            # one poison cell cannot take its groupmates down with it
+            by_tag: dict[str, list[dict]] = {}
+            for cl in claims:
+                by_tag.setdefault(cl["cell"].get("machine", ""),
+                                  []).append(cl)
+            for tag, group in sorted(by_tag.items()):
+                cells = [Cell(**cl["cell"]) for cl in group]
+                try:
+                    triples = run_cells_batch(cells, config,
+                                              machine_for(cells[0]))
+                except Exception:  # noqa: BLE001 - isolate the poison cell
+                    for cl in group:
+                        run_one(cl)
+                else:
+                    for cl, (_key, value, meta) in zip(group, triples):
+                        settle_value(cl, value, meta)
         backend.beat(report.worker)
     return report
 

@@ -22,6 +22,14 @@ The simulation engine rides inside each cell's :class:`SimConfig`
 inline path run whichever engine the experiment requested; cell values
 are engine-agnostic because engines are bit-identical (the store
 fingerprint therefore ignores the engine field).
+
+``config.engine == "batch"`` switches grid execution to the grouped
+path: instead of one simulation per cell, compatible pending cells
+advance together in an array-structured lockstep group
+(:func:`repro.sim.batch.run_workloads_batch`), with per-cell JIT
+fallback for cells the group cannot model.  Results, store writes and
+resume behave exactly as in the per-cell paths — same keys, same
+values, bit-identical.
 """
 
 from __future__ import annotations
@@ -39,7 +47,7 @@ from repro.sim.codegen import get_loop_cache, set_loop_cache_dir
 from repro.workloads import workload_specs
 
 __all__ = ["Cell", "GridResult", "run_cell", "run_cell_detailed",
-           "run_cells", "shard_cells"]
+           "run_cells", "run_cells_batch", "shard_cells"]
 
 #: cell config variants -> SimConfig transform.
 _VARIANTS = {
@@ -181,6 +189,42 @@ def run_cell(cell: Cell, config, machine=None, options=None) -> float:
     return run_cell_detailed(cell, config, machine, options)[0]
 
 
+def run_cells_batch(cells, config, machine=None) -> list:
+    """Run a list of cells as lockstep groups; returns per-cell triples.
+
+    The grouped path of ``--engine batch``: cells are grouped by config
+    variant (the only axis that changes the shared
+    :class:`~repro.sim.SimConfig` inside one ``run_cells`` invocation —
+    machine and config tags are already resolved by then) and each
+    group advances in one array-structured lockstep simulation.  A cell
+    the lockstep loop cannot model falls back to the solo path, which
+    for the batch engine delegates to the per-cell JIT.  Returns
+    ``(key, ipc, meta)`` per cell, in input order; every value is
+    bit-identical to the same cell run alone.
+    """
+    from repro.sim.batch import run_workloads_batch
+
+    machine = machine or paper_machine()
+    cells = list(cells)
+    by_variant: dict[str, list[Cell]] = {}
+    for cell in cells:
+        by_variant.setdefault(cell.variant, []).append(cell)
+    out: dict[str, tuple] = {}
+    for variant, vcells in by_variant.items():
+        cfg = _VARIANTS[variant](config)
+        tasks = [(cell_programs(cell, machine), cell.scheme)
+                 for cell in vcells]
+        results = run_workloads_batch(tasks, cfg)
+        for cell, res in zip(vcells, results):
+            if res is None:  # straggler: per-cell fallback (solo JIT)
+                value, meta = run_cell_detailed(cell, config, machine)
+                out[cell.key] = (cell.key, value, meta)
+            else:
+                meta = {"engine": "batch", "engine_stats": res.engine_stats}
+                out[cell.key] = (cell.key, res.ipc, meta)
+    return [out[c.key] for c in cells]
+
+
 # -- worker-side state (set once per pool worker) -------------------------
 _worker_state: dict = {}
 
@@ -198,6 +242,11 @@ def _worker_run(cell: Cell) -> tuple[str, float, dict]:
     value, meta = run_cell_detailed(cell, _worker_state["config"],
                                     _worker_state["machine"])
     return cell.key, value, meta
+
+
+def _worker_run_batch(cells) -> list:
+    return run_cells_batch(cells, _worker_state["config"],
+                           _worker_state["machine"])
 
 
 def _prewarm(cells, machine, options=None) -> None:
@@ -280,8 +329,34 @@ def run_cells(cells, config, machine=None, jobs: int = 1, store=None
             if meta is not None and hasattr(store, "record_cell_meta"):
                 store.record_cell_meta(experiment, key, meta)
 
+    batched = config.engine == "batch" and len(pending) > 1
     try:
-        if jobs <= 1 or len(pending) <= 1:
+        if batched and jobs > 1:
+            # one lockstep group per worker: deterministic round-robin
+            # shards over key order, assembled by key as usual
+            _prewarm(pending, machine)
+            workers = min(jobs, len(pending))
+            ordered = sorted(pending, key=lambda c: c.key)
+            shards = [ordered[i::workers] for i in range(workers)]
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_worker_init,
+                initargs=(config, machine, get_default_cache().directory,
+                          get_loop_cache().directory),
+            ) as pool:
+                futures = {pool.submit(_worker_run_batch, shard)
+                           for shard in shards}
+                while futures:
+                    finished, futures = wait(futures,
+                                             return_when=FIRST_COMPLETED)
+                    for fut in finished:
+                        for key, value, meta in fut.result():
+                            record(key, value, meta)
+        elif batched:
+            for key, value, meta in run_cells_batch(pending, config,
+                                                    machine):
+                record(key, value, meta)
+        elif jobs <= 1 or len(pending) <= 1:
             for cell in pending:
                 value, meta = run_cell_detailed(cell, config, machine)
                 record(cell.key, value, meta)

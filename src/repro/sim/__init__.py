@@ -1,5 +1,6 @@
 """Cycle-level multithreaded clustered-VLIW simulator."""
 
+from repro.sim.batch import BatchEngine, run_workloads_batch
 from repro.sim.cache import Cache, CacheConfig, PerfectCache, make_cache
 from repro.sim.config import SimConfig, run_workload
 from repro.sim.core import MTCore
@@ -17,6 +18,7 @@ from repro.sim.stats import SimStats
 from repro.sim.thread import ThreadState
 
 __all__ = [
+    "BatchEngine",
     "Cache",
     "CacheConfig",
     "ENGINES",

@@ -794,6 +794,14 @@ class LoopCache:
     debugging.  The key folds in this module's source digest, so
     editing the template invalidates stale loops instead of serving
     them.
+
+    The disk level is best-effort: a store that fails (read-only or
+    full filesystem) and a cached entry that no longer compiles
+    (truncated or hand-edited file) are both counted in
+    ``disk_errors``; a corrupt entry is additionally quarantined —
+    renamed to ``<key>.loop.py.bad`` for post-mortem — and the loop is
+    regenerated from source, so cache damage can slow a run but never
+    wedge or corrupt it.
     """
 
     def __init__(self, directory: str | None = None):
@@ -802,6 +810,7 @@ class LoopCache:
         self.memory_hits = 0
         self.disk_hits = 0
         self.compiles = 0
+        self.disk_errors = 0
         self.compile_seconds = 0.0
 
     #: compiled-function cap: loops are specialized per scheme, so a
@@ -824,18 +833,24 @@ class LoopCache:
             self.memory_hits += 1
             return fn
         t0 = time.perf_counter()
-        src = self._disk_load(key) if self.directory else None
-        if src is not None:
-            self.disk_hits += 1
-        else:
+        fn = None
+        if self.directory:
+            src = self._disk_load(key)
+            if src is not None:
+                fn = self._exec_loop(src)
+                if fn is None:  # truncated or hand-edited cache entry
+                    self._quarantine(key)
+                else:
+                    self.disk_hits += 1
+        if fn is None:
             src = loop_source(n, perms, steps, caps_high, high, i_desc,
                               d_desc, br_penalty, rotate)
             self.compiles += 1
             if self.directory:
                 self._disk_store(key, src)
-        namespace: dict = {}
-        exec(src, namespace)  # noqa: S102 - self-generated source
-        fn = namespace["_jit_loop"]
+            namespace: dict = {}
+            exec(src, namespace)  # noqa: S102 - self-generated source
+            fn = namespace["_jit_loop"]
         self.compile_seconds += time.perf_counter() - t0
         if len(self._fns) >= self._FN_CAP:
             self._fns.clear()
@@ -849,14 +864,39 @@ class LoopCache:
         except OSError:
             return None
 
+    @staticmethod
+    def _exec_loop(src: str):
+        """Compile cached loop source; None when the entry is corrupt."""
+        namespace: dict = {}
+        try:
+            exec(src, namespace)  # noqa: S102 - cache of generated source
+            return namespace["_jit_loop"]
+        except Exception:
+            return None
+
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt cached loop aside so the next process
+        regenerates instead of re-parsing the same broken file."""
+        self.disk_errors += 1
+        path = self._disk_path(key)
+        try:
+            os.replace(path, path + ".bad")
+        except OSError:
+            pass
+
     def _disk_store(self, key: str, src: str) -> None:
-        os.makedirs(self.directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        except OSError:
+            self.disk_errors += 1
+            return
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as f:
                 f.write(src)
             os.replace(tmp, self._disk_path(key))
         except OSError:
+            self.disk_errors += 1
             try:
                 os.unlink(tmp)
             except OSError:
@@ -867,6 +907,7 @@ class LoopCache:
             "compiles": self.compiles,
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
+            "disk_errors": self.disk_errors,
             "compile_seconds": round(self.compile_seconds, 6),
             "directory": self.directory,
         }

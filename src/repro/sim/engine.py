@@ -88,6 +88,11 @@ class EngineStats:
     codegen_compiles: int = 0
     compile_seconds: float = 0.0
     fallback_runs: int = 0
+    #: grouped-lockstep activity (batch engine only, zeros elsewhere):
+    #: cells sharing this cell's group, groups run, solo fallbacks.
+    batch_cells: int = 0
+    batch_groups: int = 0
+    batch_fallback_cells: int = 0
 
     def as_dict(self) -> dict:
         return asdict(self)

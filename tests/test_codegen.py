@@ -90,8 +90,8 @@ class TestLoopCache:
         assert (other.compiles, other.disk_hits) == (0, 1)
         assert cache.compile_seconds > 0
         assert set(cache.stats()) == {"compiles", "memory_hits",
-                                      "disk_hits", "compile_seconds",
-                                      "directory"}
+                                      "disk_hits", "disk_errors",
+                                      "compile_seconds", "directory"}
 
     def test_memory_cap_drops_and_recompiles_from_disk(self, tmp_path):
         cache = LoopCache(str(tmp_path))
@@ -101,6 +101,62 @@ class TestLoopCache:
         assert len(cache._fns) <= 2
         cache.get(*_loop_args("3CCC"))  # evicted: reload from disk
         assert cache.disk_hits >= 1
+
+    def test_corrupt_disk_entry_is_quarantined_and_recompiled(self, tmp_path):
+        """A truncated/hand-edited cached loop must never wedge a run:
+        it is renamed to ``.bad`` for post-mortem, counted in
+        ``disk_errors``, and the loop regenerates from source."""
+        import os
+
+        args = _loop_args("3CCC")
+        seed = LoopCache(str(tmp_path))
+        fn = seed.get(*args)
+        path = seed._disk_path(source_key(*args))
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("def _jit_loop(:  # truncated mid-write\n")
+
+        cache = LoopCache(str(tmp_path))
+        recompiled = cache.get(*args)
+        assert recompiled is not fn and callable(recompiled)
+        assert (cache.compiles, cache.disk_hits, cache.disk_errors) \
+            == (1, 0, 1)
+        assert os.path.exists(path + ".bad")  # moved aside for post-mortem
+        # the regenerated entry was re-stored and serves disk hits again
+        fresh = LoopCache(str(tmp_path))
+        fresh.get(*args)
+        assert (fresh.compiles, fresh.disk_hits, fresh.disk_errors) \
+            == (0, 1, 0)
+
+    def test_valid_source_missing_entry_point_is_corrupt(self, tmp_path):
+        """Corruption detection is 'compiles AND defines _jit_loop',
+        not just a syntax check."""
+        args = _loop_args("3SSS")
+        seed = LoopCache(str(tmp_path))
+        seed.get(*args)
+        path = seed._disk_path(source_key(*args))
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("x = 1  # syntactically fine, no _jit_loop\n")
+        cache = LoopCache(str(tmp_path))
+        assert callable(cache.get(*args))
+        assert cache.disk_errors == 1
+
+    def test_unwritable_directory_counts_store_errors(self, tmp_path):
+        """Disk stores are best-effort: a read-only cache directory
+        degrades to memory-only operation, counted, never raising."""
+        import os
+
+        ro = tmp_path / "ro"
+        ro.mkdir()
+        os.chmod(ro, 0o500)
+        try:
+            cache = LoopCache(str(ro))
+            if os.access(ro, os.W_OK):  # running as root: chmod is moot
+                return
+            assert callable(cache.get(*_loop_args("2SC3")))
+            assert cache.disk_errors == 1
+            assert cache.stats()["disk_errors"] == 1
+        finally:
+            os.chmod(ro, 0o700)
 
     def test_set_loop_cache_dir_redirects_default(self, tmp_path):
         prev = get_loop_cache().directory

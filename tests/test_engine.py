@@ -159,7 +159,7 @@ class TestDifferential:
 
 class TestEngineProtocol:
     def test_registry_contents(self):
-        assert set(ENGINES) == {"reference", "fast", "jit"}
+        assert set(ENGINES) == {"reference", "fast", "jit", "batch"}
 
     def test_make_engine_from_name_class_instance(self):
         assert isinstance(make_engine("fast"), FastEngine)
@@ -245,6 +245,7 @@ class TestJitEngine:
                 "engine", "memo_hits", "memo_misses", "memo_drops",
                 "codegen_memory_hits", "codegen_disk_hits",
                 "codegen_compiles", "compile_seconds", "fallback_runs",
+                "batch_cells", "batch_groups", "batch_fallback_cells",
             }
         # the jit run above either compiled its loop or reused a
         # process-wide cached one — the counters must say which.

@@ -294,6 +294,54 @@ class TestWorkerLoop:
         assert run_worker(url, worker_id="w2").executed == 1
         assert queue_status(url).drained
 
+    def test_transient_error_releases_claim_for_retry(
+            self, tmp_path, monkeypatch):
+        """An exception below the attempt cap must *release* the claim
+        (open for retry, attempt count kept) instead of parking the
+        cell as failed — one worker alone re-drains a flaky queue."""
+        url = _url(tmp_path)
+        init_queue(url, SPEC)
+        attempts: dict[str, int] = {}
+
+        def flaky(cell, config, machine):
+            n = attempts[cell.key] = attempts.get(cell.key, 0) + 1
+            if n == 1:
+                raise RuntimeError("transient blowup")
+            return 1.0, {}
+
+        monkeypatch.setattr("repro.eval.queue.run_cell_detailed", flaky)
+        lines: list[str] = []
+        report = run_worker(url, worker_id="w1", poll=0.01,
+                            progress=lines.append)
+        assert report.executed == 2 and report.failed == 0
+        assert report.released == 2  # each cell bounced exactly once
+        assert all(n == 2 for n in attempts.values())
+        assert queue_status(url).drained
+        assert any("released for retry" in ln and "transient blowup" in ln
+                   for ln in lines)
+        assert any("[attempt 2]" in ln for ln in lines)
+
+    def test_released_cells_still_park_at_the_attempt_cap(
+            self, tmp_path, monkeypatch):
+        """Release-for-retry must not make a poison cell immortal: the
+        kept attempt count parks it once the cap is burned."""
+        url = _url(tmp_path)
+        init_queue(url, SPEC)
+        bad_key = sorted(c.key for c in SPEC.cells())[0]
+
+        def poison(cell, config, machine):
+            if cell.key == bad_key:
+                raise RuntimeError("deterministic blowup")
+            return 1.0, {}
+
+        monkeypatch.setattr("repro.eval.queue.run_cell_detailed", poison)
+        report = run_worker(url, worker_id="w1", poll=0.01,
+                            max_attempts=3)
+        assert report.executed == 1 and report.failed == 1
+        assert report.released == 2  # attempts 1 and 2 bounced
+        (row,) = queue_status(url).failed
+        assert row["key"] == bad_key and row["attempt"] == 3
+
     def test_no_wait_worker_leaves_in_flight_cells_to_their_owner(
             self, tmp_path, monkeypatch):
         url = _url(tmp_path)
@@ -327,6 +375,30 @@ class TestDrainIdentity:
         init_queue(url, SPEC)
         report = run_worker(url)  # real simulations (2 cells, tiny)
         assert report.executed == 2
+        config = default_config(0.05)
+        queue_session = Session(config=config, store=url)
+        via_queue = queue_session.sweep(2, ["LLLL"])
+        assert queue_session.last_grid.executed == 0
+        assert queue_session.last_grid.reused == 2
+        serial = Session(config=config,
+                         store=f"dir:{tmp_path / 'ref'}").sweep(2, ["LLLL"])
+        assert via_queue.to_json() == serial.to_json()
+
+    def test_batch_campaign_drain_equals_serial_directory_run(
+            self, tmp_path):
+        """``--engine batch`` workers claim cell groups and advance
+        them in one lockstep simulation; the drained queue must still
+        be byte-identical to a serial ``dir:`` run (which also proves
+        cross-engine identity — the store fingerprint is deliberately
+        engine-agnostic)."""
+        pytest.importorskip("numpy")
+        spec = CampaignSpec(experiment="sweep2", scale=0.05,
+                            workloads=("LLLL",), engine="batch")
+        url = _url(tmp_path)
+        init_queue(url, spec)
+        report = run_worker(url, worker_id="bw")  # one grouped claim
+        assert report.executed == 2 and report.failed == 0
+        assert queue_status(url).drained
         config = default_config(0.05)
         queue_session = Session(config=config, store=url)
         via_queue = queue_session.sweep(2, ["LLLL"])
