@@ -3,7 +3,7 @@
 import pytest
 
 from benchmarks.conftest import BENCH_CONFIG, run_print, show
-from repro.eval import run_fig10, run_fig11
+from repro.eval import Session
 
 
 @pytest.fixture(scope="module")
@@ -22,7 +22,8 @@ def test_fig11_regenerate(fig11):
 
 
 def test_bench_scatter_build(benchmark, machine):
-    fig10 = run_fig10(BENCH_CONFIG, machine,
-                      schemes=["1S", "C4", "2SC3", "3SSS"])
-    result = benchmark(lambda: run_fig11(BENCH_CONFIG, machine, fig10=fig10))
+    schemes = ["1S", "C4", "2SC3", "3SSS"]
+    session = Session(machine=machine, config=BENCH_CONFIG)
+    session.run("fig10", schemes=schemes)  # simulate once, cache cells
+    result = benchmark(lambda: session.run("fig11", schemes=schemes))
     assert len(result.rows) >= 4

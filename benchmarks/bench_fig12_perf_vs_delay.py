@@ -3,7 +3,7 @@
 import pytest
 
 from benchmarks.conftest import BENCH_CONFIG, run_print, show
-from repro.eval import run_fig10, run_fig12
+from repro.eval import Session
 
 
 @pytest.fixture(scope="module")
@@ -23,7 +23,8 @@ def test_fig12_regenerate(fig12):
 
 
 def test_bench_scatter_build(benchmark, machine):
-    fig10 = run_fig10(BENCH_CONFIG, machine,
-                      schemes=["1S", "C4", "3SSC", "3SSS"])
-    result = benchmark(lambda: run_fig12(BENCH_CONFIG, machine, fig10=fig10))
+    schemes = ["1S", "C4", "3SSC", "3SSS"]
+    session = Session(machine=machine, config=BENCH_CONFIG)
+    session.run("fig10", schemes=schemes)  # simulate once, cache cells
+    result = benchmark(lambda: session.run("fig12", schemes=schemes))
     assert len(result.rows) >= 4

@@ -5,11 +5,11 @@ import pytest
 
 from benchmarks.conftest import show
 from repro.cost import csmt_parallel, csmt_serial, smt_serial
-from repro.eval import run_fig5
+from repro.eval import Session
 
 
 def test_fig5_regenerate(machine):
-    result = run_fig5(machine)
+    result = Session(machine=machine).run("fig5")
     show(result)
     rows = {r[0]: r for r in result.rows}
     # 5a: CSMT PL crosses SMT between 5 and 8 threads

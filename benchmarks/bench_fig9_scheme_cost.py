@@ -4,12 +4,12 @@ import pytest
 
 from benchmarks.conftest import show
 from repro.cost import scheme_cost
-from repro.eval import run_fig9
+from repro.eval import Session
 from repro.merge import PAPER_SCHEMES, get_scheme
 
 
 def test_fig9_regenerate(machine):
-    result = run_fig9(machine)
+    result = Session(machine=machine).run("fig9")
     show(result)
     rows = result.row_map()
     # Section 4.2 claims, verbatim

@@ -1,6 +1,6 @@
 """Reconstructed gate-level cost model for merge-control hardware."""
 
-from repro.cost.gates import CostParams, GateLib, clog2
+from repro.cost.gates import PAPER_COST_POINTS, CostParams, GateLib, clog2
 from repro.cost.merge_control import (
     ControlCost,
     csmt_parallel,
@@ -13,6 +13,7 @@ __all__ = [
     "ControlCost",
     "CostParams",
     "GateLib",
+    "PAPER_COST_POINTS",
     "SchemeCost",
     "clog2",
     "csmt_parallel",

@@ -11,10 +11,21 @@ orderings are the reproduced content; absolute counts are reconstructions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from math import ceil, comb, log2
 
-__all__ = ["GateLib", "CostParams", "or_tree", "clog2"]
+__all__ = ["GateLib", "CostParams", "PAPER_COST_POINTS", "or_tree", "clog2"]
+
+#: SMT merge-control transistor anchors digitized from Figure 5a
+#: (4-cluster machine): ``(n_threads, transistors)``.  The figure is a
+#: log-scale plot, so these carry digitization error — which is exactly
+#: why :meth:`CostParams.fit` regresses over all of them instead of
+#: solving any two exactly.
+PAPER_COST_POINTS: tuple[tuple[int, int], ...] = (
+    (2, 4_200),
+    (4, 13_100),
+    (8, 34_000),
+)
 
 
 def clog2(n: int) -> int:
@@ -73,6 +84,66 @@ class CostParams:
     smt_route_delay: int = 6
     smt_route_merged_extra: int = 3
     csmt_level_delay: int = 4
+
+    # ------------------------------------------------------------------
+    # calibration
+    # ------------------------------------------------------------------
+    @classmethod
+    def fit(cls, points=PAPER_COST_POINTS, m_clusters: int = 4,
+            base: "CostParams | None" = None) -> "CostParams":
+        """Least-squares calibration of the SMT constants to anchors.
+
+        ``points`` are ``(n_threads, transistors)`` anchors for the
+        serial SMT merge control on an ``m_clusters`` machine
+        (:data:`PAPER_COST_POINTS` by default).  That control's
+        transistor count is linear in exactly two parameters::
+
+            T(n) / m = (n-1) * s  +  (n-1)(n-2)/2 * wg
+
+        where ``s = smt_count_check + smt_routing_gen`` (the per-block
+        constant) and ``wg = smt_width_growth`` — the per-block *split*
+        of ``s`` between counting and routing never reaches the total,
+        so only their sum is identifiable from Figure 5a.  The fit
+        solves the 2x2 normal equations for ``(s, wg)`` in pure python
+        and splits ``s`` by the reconstruction's 160:880 counting/
+        routing ratio (the paper's "routing dominates" claim,
+        Section 4.2).  All other constants come from ``base``
+        (default: the stock :class:`CostParams`).
+        """
+        base = base or cls()
+        pts = [(int(n), float(t)) for n, t in points]
+        if len(pts) < 2:
+            raise ValueError(f"need >= 2 anchor points to fit the two "
+                             f"SMT constants, got {len(pts)}")
+        if any(n < 2 for n, _ in pts):
+            raise ValueError("anchor thread counts must be >= 2 "
+                             "(merge control needs two threads)")
+        # rows of the design matrix: y = a*s + b*wg, y = T/m
+        rows = [((n - 1), (n - 1) * (n - 2) / 2, t / m_clusters)
+                for n, t in pts]
+        saa = sum(a * a for a, _b, _y in rows)
+        sab = sum(a * b for a, b, _y in rows)
+        sbb = sum(b * b for _a, b, _y in rows)
+        say = sum(a * y for a, _b, y in rows)
+        sby = sum(b * y for _a, b, y in rows)
+        det = saa * sbb - sab * sab
+        if det == 0:
+            # every anchor shares one thread count: wg is invisible
+            s, wg = say / saa, base.smt_width_growth
+        else:
+            s = (say * sbb - sab * sby) / det
+            wg = (saa * sby - sab * say) / det
+        if s <= 0:
+            raise ValueError(f"fit produced a non-positive SMT block "
+                             f"constant ({s:.1f}); check the anchors")
+        stock = cls()
+        ratio = stock.smt_count_check / (stock.smt_count_check
+                                         + stock.smt_routing_gen)
+        count_check = round(s * ratio)
+        return replace(base,
+                       smt_count_check=count_check,
+                       smt_routing_gen=round(s) - count_check,
+                       smt_width_growth=round(wg))
 
     # ------------------------------------------------------------------
     # CSMT building blocks

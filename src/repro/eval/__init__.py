@@ -2,30 +2,26 @@
 
 :class:`~repro.eval.api.Session` is the entry point: it binds
 machine(s), config, result store and jobs once, and runs every
-experiment and sweep through the same verbs.  The module-level
-``run_*`` functions are deprecation shims kept for compatibility.
+experiment, sweep and guided search through the same verbs.
 """
 
 from repro.eval.experiments import (
-    ALL_EXPERIMENTS,
     EXPERIMENT_DEFS,
     SIM_EXPERIMENTS,
     ExperimentDef,
     cell_factory,
     default_config,
     experiment_cells,
-    run_experiment,
-    run_fig4,
-    run_fig5,
-    run_fig6,
-    run_fig9,
-    run_fig10,
-    run_fig11,
-    run_fig12,
-    run_table1,
-    run_table2,
 )
 from repro.eval.api import Session
+from repro.eval.evaluator import (
+    DEFAULT_RUNGS,
+    EvalReport,
+    Evaluator,
+    FidelityRung,
+    rung_configs,
+    rungs_from_spec,
+)
 from repro.eval.backends import (
     DirectoryBackend,
     QueueBackend,
@@ -43,14 +39,27 @@ from repro.eval.queue import (
     reset_failed,
     run_worker,
 )
-from repro.eval.pareto import DesignPoint, design_points, pareto_frontier, recommend
+from repro.eval.pareto import (
+    DesignPoint,
+    design_points,
+    frontier_neighborhood,
+    pareto_frontier,
+    recommend,
+)
 from repro.eval.result import ExperimentResult, render_table
+from repro.eval.search import (
+    SearchReport,
+    mutate_names,
+    run_search,
+    search_experiment_id,
+)
 from repro.eval.scaling import (
     MatrixResult,
     budget_recommendations,
     frontier_map,
     machine_axes,
     rank_stability,
+    rank_stability_from_ipc,
     scaling_report,
     variant_label,
 )
@@ -65,6 +74,8 @@ from repro.eval.store import (
 )
 from repro.eval.sweep import (
     CandidateGroup,
+    SweepPlan,
+    assemble_sweep,
     candidate_table,
     enumerate_candidates,
     enumerate_names,
@@ -75,15 +86,18 @@ from repro.eval.sweep import (
 )
 
 __all__ = [
-    "ALL_EXPERIMENTS",
     "CampaignSpec",
     "CandidateGroup",
     "Cell",
+    "DEFAULT_RUNGS",
     "DesignPoint",
     "DirectoryBackend",
     "EXPERIMENT_DEFS",
+    "EvalReport",
+    "Evaluator",
     "ExperimentDef",
     "ExperimentResult",
+    "FidelityRung",
     "GridResult",
     "MatrixResult",
     "QueueBackend",
@@ -91,10 +105,13 @@ __all__ = [
     "RunStore",
     "SIM_EXPERIMENTS",
     "SQLiteBackend",
+    "SearchReport",
     "Session",
     "StoreBackend",
     "StoreMismatchError",
+    "SweepPlan",
     "WorkerReport",
+    "assemble_sweep",
     "budget_recommendations",
     "candidate_table",
     "cell_factory",
@@ -104,22 +121,28 @@ __all__ = [
     "enumerate_names",
     "experiment_cells",
     "frontier_map",
+    "frontier_neighborhood",
     "init_queue",
     "machine_axes",
     "merge_runs",
+    "mutate_names",
     "open_backend",
     "open_store",
     "parse_store_url",
     "queue_status",
     "rank_stability",
+    "rank_stability_from_ipc",
     "reset_failed",
     "run_cell",
     "run_cells",
-    "run_experiment",
     "run_fingerprint",
+    "run_search",
     "run_sweep",
     "run_worker",
+    "rung_configs",
+    "rungs_from_spec",
     "scaling_report",
+    "search_experiment_id",
     "shard_cells",
     "sweep_cells",
     "sweep_experiment_id",
@@ -129,13 +152,4 @@ __all__ = [
     "pareto_frontier",
     "recommend",
     "render_table",
-    "run_fig4",
-    "run_fig5",
-    "run_fig6",
-    "run_fig9",
-    "run_fig10",
-    "run_fig11",
-    "run_fig12",
-    "run_table1",
-    "run_table2",
 ]

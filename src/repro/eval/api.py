@@ -281,13 +281,14 @@ class Session:
 
     def sweep(self, threads: int = 4, workloads=None, *, machine: str = "",
               config: str = "", shard=None, budget_transistors=None,
-              budget_gate_delays=None, save: bool = False
-              ) -> ExperimentResult:
+              budget_gate_delays=None, cost_params=None,
+              save: bool = False) -> ExperimentResult:
         """Run a design-space sweep campaign through this session.
 
         Same verbs and binding as :meth:`run`; see
         :func:`repro.eval.sweep.run_sweep` for the campaign semantics
-        (``shard``, budgets, frontier assembly).
+        (``shard``, budgets, frontier assembly, calibrated
+        ``cost_params``).
         """
         from repro.eval.sweep import run_sweep
 
@@ -297,7 +298,8 @@ class Session:
             store=self._store_view, shard=shard,
             machine_tag=machine, config_tag=config,
             budget_transistors=budget_transistors,
-            budget_gate_delays=budget_gate_delays)
+            budget_gate_delays=budget_gate_delays,
+            cost_params=cost_params)
         self._grids[grid.experiment] = grid
         self.last_grid = grid
         if machine:
@@ -306,6 +308,32 @@ class Session:
         if config:
             result = dataclasses.replace(
                 result, experiment=f"{result.experiment}%{config}")
+        if save:
+            self._require_store().save_artifact(result)
+        return result
+
+    def search(self, threads: int = 4, workloads=None, *,
+               machine: str = "", save: bool = False,
+               **kw) -> ExperimentResult:
+        """Run a guided Pareto search campaign through this session.
+
+        The session must carry the search's reduced fidelity rungs as
+        named config variants — construct it with
+        ``configs=rung_configs(base, rungs)``
+        (:func:`~repro.eval.evaluator.rung_configs`) so the rung tags
+        are part of the store fingerprint.  Keyword arguments
+        (``budget``, ``rungs``, ``eps``, ``drift``, ``evolve``, …) are
+        forwarded to :func:`repro.eval.search.run_search`; the returned
+        artifact carries the full :class:`~repro.eval.search.
+        SearchReport` in ``meta["search"]``.
+        """
+        from repro.eval.search import run_search
+
+        result, _report = run_search(self, threads, workloads,
+                                     machine=machine, **kw)
+        if machine:
+            result = dataclasses.replace(
+                result, experiment=f"{result.experiment}@{machine}")
         if save:
             self._require_store().save_artifact(result)
         return result

@@ -17,6 +17,14 @@ Artifact and campaign subcommands::
     repro-eval merge merged shard1 shard2        # reassemble
     repro-eval sweep --threads 3 --resume merged # frontier, 0 new sims
 
+    repro-eval search --threads 4                # = sweep, bit-identical
+    repro-eval search -t 8 --budget 0.3 \\
+               --store sqlite:s8.db              # guided: ~30% of the
+                                                 #   cost, frontier out
+    repro-eval search -t 8 --budget 0.3 --store sqlite:s8.db  # again:
+                                                 #   resumes, 0 new sims
+    repro-eval search -t 6 --evolve --seed 1     # evolutionary discovery
+
     repro-eval matrix -e sweep4 --machines 2c4w,4c4w,8c4w \\
                --store sqlite:scaling.db         # scaling campaign
     repro-eval matrix -e table1 --machines 4c3w,4c5w  # width variants
@@ -30,6 +38,10 @@ docs/OPERATIONS.md for the operator's guide)::
     repro-eval reset-failed queue:camp.db              # reopen failed cells
     repro-eval sweep -t 3 --store queue:camp.db        # drained queue ->
                                                        #   artifact, 0 sims
+
+    repro-eval search -t 8 --budget 0.3 --store queue:s8.db  # coordinator
+    repro-eval worker --follow queue:s8.db             # fleet: polls on
+                                                       #   through rung gaps
 
 For backward compatibility a bare flag list (``repro-eval -e fig10``)
 runs the ``run`` subcommand.
@@ -56,10 +68,12 @@ import sys
 import time
 
 from repro.arch import paper_machine, preset_machine
+from repro.cost import CostParams
 from repro.eval.api import Session
 from repro.eval.backends import parse_store_url
+from repro.eval.evaluator import rung_configs, rungs_from_spec
 from repro.eval.experiments import (
-    ALL_EXPERIMENTS,
+    EXPERIMENT_DEFS,
     default_config,
     experiment_cells,
 )
@@ -77,7 +91,8 @@ from repro.eval.store import (
     run_fingerprint,
 )
 from repro.eval.scaling import scaling_report
-from repro.eval.sweep import candidate_table, sweep_threads
+from repro.eval.search import run_search
+from repro.eval.sweep import candidate_table, sweep_experiment_id, sweep_threads
 from repro.sim.engine import ENGINES
 
 
@@ -88,12 +103,10 @@ class _CliError(Exception):
 def _list_experiments() -> str:
     lines = ["experiment  cells  description",
              "----------  -----  -----------"]
-    for name in sorted(ALL_EXPERIMENTS):
+    for name in sorted(EXPERIMENT_DEFS):
         cells = experiment_cells(name)
         n = str(len(cells)) if cells else "-"
-        doc_lines = (ALL_EXPERIMENTS[name].__doc__ or "").strip().splitlines()
-        doc = doc_lines[0] if doc_lines else ""
-        lines.append(f"{name:<10}  {n:>5}  {doc}")
+        lines.append(f"{name:<10}  {n:>5}  {EXPERIMENT_DEFS[name].description}")
     return "\n".join(lines)
 
 
@@ -161,6 +174,21 @@ def _open_store(args, config, machine):
         raise _CliError(str(exc)) from None
 
 
+def _check_threads(threads: int) -> None:
+    if not 1 <= threads <= 8:
+        raise _CliError(
+            f"--threads must be in 1..8 (got {threads}); the design "
+            f"space grows ~3x per thread and 8 already enumerates 610 "
+            f"schemes"
+        )
+
+
+def _parse_workloads(text: str | None) -> list[str] | None:
+    if not text:
+        return None
+    return [w.strip().upper() for w in text.split(",") if w.strip()]
+
+
 def _parse_shard(text: str) -> tuple[int, int]:
     try:
         index_s, _, count_s = text.partition("/")
@@ -185,7 +213,7 @@ def _cmd_run(argv) -> int:
         description="Regenerate tables/figures of Gupta et al., ICPP 2009",
     )
     ap.add_argument("--experiment", "-e", default="all",
-                    choices=sorted(ALL_EXPERIMENTS) + ["all"],
+                    choices=sorted(EXPERIMENT_DEFS) + ["all"],
                     help="which artifact to regenerate")
     _add_sim_args(ap)
     ap.add_argument("--list", action="store_true",
@@ -196,7 +224,7 @@ def _cmd_run(argv) -> int:
         print(_list_experiments())
         return 0
 
-    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" \
+    names = sorted(EXPERIMENT_DEFS) if args.experiment == "all" \
         else [args.experiment]
     config = default_config(args.scale, engine=args.engine)
     machine = paper_machine()
@@ -254,27 +282,23 @@ def _cmd_sweep(argv) -> int:
     ap.add_argument("--shard", default=None, metavar="I/N",
                     help="simulate only the i-th of N deterministic grid "
                          "shards (merge the run directories afterwards)")
+    ap.add_argument("--calibrated", action="store_true",
+                    help="use paper-calibrated cost-model constants "
+                         "(CostParams.fit) for the frontier and "
+                         "recommendation instead of the defaults")
     _add_sim_args(ap)
     ap.add_argument("--list", action="store_true",
                     help="list the enumerated candidates + costs and exit "
                          "(no simulation)")
     args = ap.parse_args(argv)
 
-    if not 1 <= args.threads <= 8:
-        raise _CliError(
-            f"--threads must be in 1..8 (got {args.threads}); the design "
-            f"space grows ~3x per thread and 8 already enumerates 610 "
-            f"schemes"
-        )
+    _check_threads(args.threads)
     machine = paper_machine()
     if args.list:
         print(candidate_table(args.threads, machine).render())
         return 0
 
-    workloads = None
-    if args.workloads:
-        workloads = [w.strip().upper() for w in args.workloads.split(",")
-                     if w.strip()]
+    workloads = _parse_workloads(args.workloads)
     shard = _parse_shard(args.shard) if args.shard else None
     config = default_config(args.scale, engine=args.engine)
     store = _open_store(args, config, machine)
@@ -293,7 +317,8 @@ def _cmd_sweep(argv) -> int:
         result = session.sweep(
             args.threads, workloads, shard=shard,
             budget_transistors=args.budget_transistors,
-            budget_gate_delays=args.budget_gate_delays)
+            budget_gate_delays=args.budget_gate_delays,
+            cost_params=CostParams.fit() if args.calibrated else None)
     except (KeyError, ValueError) as exc:
         # e.g. unknown/duplicate --workloads, validated by run_sweep
         raise _CliError(exc.args[0] if exc.args else str(exc)) from None
@@ -304,6 +329,120 @@ def _cmd_sweep(argv) -> int:
     print()
     if store is not None and shard is None:
         path = store.save_artifact(result)
+        print(f"  saved: {path}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# search — guided Pareto search of the design space
+# ----------------------------------------------------------------------
+def _cmd_search(argv) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro-eval search",
+        description="Guided Pareto search of the N-thread design space: "
+                    "screen every scheme on cheap fidelity rungs, "
+                    "promote the frontier neighborhood rung by rung, "
+                    "finish the survivors at full fidelity.  With no "
+                    "--budget this is exhaustive and bit-identical to "
+                    "`repro-eval sweep`",
+    )
+    ap.add_argument("--threads", "-t", type=int, default=4,
+                    help="scheme port count to search (default 4)")
+    ap.add_argument("--workloads", default=None,
+                    help="comma-separated Table 2 workloads "
+                         "(default: all nine)")
+    ap.add_argument("--budget", type=float, default=None,
+                    help="fraction of the exhaustive sweep's full-"
+                         "fidelity cost this search may spend (e.g. "
+                         "0.3; default: unlimited = exhaustive)")
+    ap.add_argument("--rungs", default="0.05,0.25,1",
+                    help="fidelity ladder as ascending simulation "
+                         "scales ending at 1 (default 0.05,0.25,1)")
+    ap.add_argument("--eps", type=float, default=0.05,
+                    help="frontier-neighborhood IPC band a candidate "
+                         "may trail the frontier by and still be "
+                         "promoted (default 0.05)")
+    ap.add_argument("--drift", type=int, default=2,
+                    help="max IPC-rank move between rungs that still "
+                         "counts as rank-stable (default 2)")
+    ap.add_argument("--evolve", action="store_true",
+                    help="evolutionary mode: grow a seeded population "
+                         "by mutating the frontier neighborhood "
+                         "through the scheme grammar instead of "
+                         "screening the whole space")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="random seed for --evolve (default 0)")
+    ap.add_argument("--population", type=int, default=24,
+                    help="--evolve population size (default 24)")
+    ap.add_argument("--generations", type=int, default=3,
+                    help="--evolve discovery generations (default 3)")
+    ap.add_argument("--budget-transistors", type=float, default=None,
+                    help="recommend the best scheme within this "
+                         "transistor budget")
+    ap.add_argument("--budget-gate-delays", type=float, default=None,
+                    help="recommend the best scheme within this "
+                         "gate-delay budget")
+    ap.add_argument("--calibrated", action="store_true",
+                    help="use paper-calibrated cost-model constants "
+                         "(CostParams.fit) for the frontier and "
+                         "recommendation instead of the defaults")
+    _add_sim_args(ap)
+    args = ap.parse_args(argv)
+
+    _check_threads(args.threads)
+    try:
+        rungs = rungs_from_spec(args.rungs)
+    except ValueError as exc:
+        raise _CliError(f"bad --rungs: {exc}") from None
+    workloads = _parse_workloads(args.workloads)
+    base = default_config(args.scale, engine=args.engine)
+    try:
+        url = _resolve_store_url(args)
+    except ValueError as exc:
+        raise _CliError(str(exc)) from None
+    # the store is opened by the Session (not _open_store) so its
+    # fingerprint records the rung-config registry of this search.
+    try:
+        session = Session(machine=paper_machine(), config=base,
+                          configs=rung_configs(base, rungs),
+                          store=url, jobs=args.jobs)
+    except (StoreMismatchError, ValueError) as exc:
+        raise _CliError(str(exc)) from None
+
+    queue_spec = None
+    if url is not None and parse_store_url(url)[0] == "queue":
+        # fleet mode: the spec lets `repro-eval worker --follow`
+        # processes rebuild every rung config and drain alongside us.
+        queue_spec = CampaignSpec(
+            experiment=sweep_experiment_id(args.threads),
+            scale=args.scale, engine=args.engine,
+            workloads=tuple(workloads) if workloads else None,
+            kind="search",
+            configs=tuple((r.tag, r.scale) for r in rungs if r.tag))
+
+    t0 = time.time()
+    try:
+        result, report = run_search(
+            session, args.threads, workloads,
+            rungs=rungs, budget=args.budget, eps=args.eps,
+            drift=args.drift, seed=args.seed, evolve=args.evolve,
+            population=args.population, generations=args.generations,
+            budget_transistors=args.budget_transistors,
+            budget_gate_delays=args.budget_gate_delays,
+            cost_params=CostParams.fit() if args.calibrated else None,
+            queue_spec=queue_spec, progress=print)
+    except (KeyError, ValueError) as exc:
+        raise _CliError(exc.args[0] if exc.args else str(exc)) from None
+    print(result.render())
+    budget_txt = (f"{report.budget_units:.1f}"
+                  if report.budget_units is not None else "unlimited")
+    print(f"  [{time.time() - t0:.1f}s]  spent {report.spent:.2f} of "
+          f"{budget_txt} budget units; {len(report.evaluated_full)} of "
+          f"{report.exhaustive_units} semantics at full fidelity "
+          f"({report.full_fraction:.0%})")
+    print()
+    if session.store is not None:
+        path = session.store.save_artifact(result)
         print(f"  saved: {path}")
     return 0
 
@@ -536,6 +675,11 @@ def _cmd_worker(argv) -> int:
     ap.add_argument("--no-wait", action="store_true",
                     help="exit when nothing is claimable instead of "
                          "waiting for other workers' in-flight cells")
+    ap.add_argument("--follow", action="store_true",
+                    help="guided-search fleets: keep polling through "
+                         "the idle gaps between fidelity rungs until "
+                         "the search coordinator marks the campaign "
+                         "done")
     args = ap.parse_args(argv)
 
     t0 = time.time()
@@ -545,7 +689,8 @@ def _cmd_worker(argv) -> int:
                             max_cells=args.max_cells,
                             max_attempts=args.max_attempts,
                             batch_cells=args.batch_cells,
-                            wait=not args.no_wait, progress=print)
+                            wait=not args.no_wait, follow=args.follow,
+                            progress=print)
     except (StoreMismatchError, ValueError) as exc:
         raise _CliError(str(exc)) from None
     print(f"worker {report.worker}: {report.executed} cells executed "
@@ -597,9 +742,10 @@ def _cmd_reset_failed(argv) -> int:
     return 0
 
 
-_COMMANDS = {"run": _cmd_run, "sweep": _cmd_sweep, "merge": _cmd_merge,
-             "matrix": _cmd_matrix, "queue-init": _cmd_queue_init,
-             "worker": _cmd_worker, "queue-status": _cmd_queue_status,
+_COMMANDS = {"run": _cmd_run, "sweep": _cmd_sweep, "search": _cmd_search,
+             "merge": _cmd_merge, "matrix": _cmd_matrix,
+             "queue-init": _cmd_queue_init, "worker": _cmd_worker,
+             "queue-status": _cmd_queue_status,
              "reset-failed": _cmd_reset_failed}
 
 

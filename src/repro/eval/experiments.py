@@ -16,16 +16,10 @@ Derived artifacts (fig11/fig12 join fig10 with the static cost model)
 declare their dependency via :attr:`ExperimentDef.uses`, and the
 session's result cache makes the reuse automatic — no special-cased
 plumbing between experiments.
-
-The historical module-level runners (:func:`run_experiment`,
-:func:`run_table1`, …) remain as thin deprecation shims over a default
-session: byte-for-byte identical artifacts (the golden corpus pins
-this), one :class:`DeprecationWarning` per entry point per process.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Callable
 
@@ -39,7 +33,6 @@ from repro.sim import SimConfig
 from repro.workloads import TABLE2, WORKLOAD_ORDER
 
 __all__ = [
-    "ALL_EXPERIMENTS",
     "EXPERIMENT_DEFS",
     "ExperimentDef",
     "SIM_EXPERIMENTS",
@@ -49,16 +42,6 @@ __all__ = [
     # re-exported as the session's grid executor: repro.eval.api calls
     # ``experiments.run_cells`` so tests can stub grid execution here.
     "run_cells",
-    "run_experiment",
-    "run_table1",
-    "run_table2",
-    "run_fig4",
-    "run_fig5",
-    "run_fig6",
-    "run_fig9",
-    "run_fig10",
-    "run_fig11",
-    "run_fig12",
 ]
 
 
@@ -109,6 +92,9 @@ class ExperimentDef:
       (fig11/fig12 over fig10);
     * **static** — no simulation; the runner is looked up in
       ``_STATIC_RUNNERS`` at call time.
+
+    ``description`` is the one-line summary ``repro-eval run --list``
+    prints next to the grid size.
     """
 
     name: str
@@ -117,6 +103,7 @@ class ExperimentDef:
     uses: str | None = None
     derive: Callable | None = None
     static: bool = False
+    description: str = ""
 
 
 # ----------------------------------------------------------------------
@@ -362,22 +349,39 @@ def _derive_fig12(fig10: ExperimentResult, machine) -> ExperimentResult:
 # The experiment registry
 # ----------------------------------------------------------------------
 #: experiment id -> definition; :class:`repro.eval.api.Session` executes
-#: these (the sole dispatch table — the CLI and the deprecation shims
-#: below both route through a session).
+#: these (the sole dispatch table — the CLI routes through a session).
 EXPERIMENT_DEFS: dict[str, ExperimentDef] = {
-    "table1": ExperimentDef("table1", build_cells=_cells_table1,
-                            assemble=_assemble_table1),
-    "table2": ExperimentDef("table2", static=True),
-    "fig4": ExperimentDef("fig4", build_cells=_cells_fig4,
-                          assemble=_assemble_fig4),
-    "fig5": ExperimentDef("fig5", static=True),
-    "fig6": ExperimentDef("fig6", build_cells=_cells_fig6,
-                          assemble=_assemble_fig6),
-    "fig9": ExperimentDef("fig9", static=True),
-    "fig10": ExperimentDef("fig10", build_cells=_cells_fig10,
-                           assemble=_assemble_fig10),
-    "fig11": ExperimentDef("fig11", uses="fig10", derive=_derive_fig11),
-    "fig12": ExperimentDef("fig12", uses="fig10", derive=_derive_fig12),
+    "table1": ExperimentDef(
+        "table1", build_cells=_cells_table1, assemble=_assemble_table1,
+        description="IPCr (real caches) and IPCp (perfect) per benchmark, "
+                    "single thread."),
+    "table2": ExperimentDef(
+        "table2", static=True,
+        description="The workload configurations (static)."),
+    "fig4": ExperimentDef(
+        "fig4", build_cells=_cells_fig4, assemble=_assemble_fig4,
+        description="Average SMT IPC on 1-, 2- and 4-thread processors."),
+    "fig5": ExperimentDef(
+        "fig5", static=True,
+        description="Transistors (5a) and gate delays (5b) for SMT / "
+                    "CSMT SL / CSMT PL."),
+    "fig6": ExperimentDef(
+        "fig6", build_cells=_cells_fig6, assemble=_assemble_fig6,
+        description="Per-workload % IPC advantage of 4-thread SMT over "
+                    "4-thread CSMT."),
+    "fig9": ExperimentDef(
+        "fig9", static=True,
+        description="Transistors + gate delays for all 16 schemes of "
+                    "Figure 9."),
+    "fig10": ExperimentDef(
+        "fig10", build_cells=_cells_fig10, assemble=_assemble_fig10,
+        description="IPC of every scheme on every Table 2 workload."),
+    "fig11": ExperimentDef(
+        "fig11", uses="fig10", derive=_derive_fig11,
+        description="Average IPC vs transistors for every scheme."),
+    "fig12": ExperimentDef(
+        "fig12", uses="fig10", derive=_derive_fig12,
+        description="Average IPC vs gate delays for every scheme."),
 }
 
 #: experiments that simulate (and therefore accept config/jobs/store).
@@ -403,167 +407,3 @@ def experiment_cells(name: str) -> list[Cell] | None:
     if defn.build_cells is None:
         return None
     return defn.build_cells(cell_factory(defn.name))
-
-
-# ----------------------------------------------------------------------
-# Deprecated module-level runners (shims over a default Session)
-# ----------------------------------------------------------------------
-#: entry points that already warned this process (warn-once hygiene).
-_WARNED: set[str] = set()
-
-
-def _warn_once(name: str, hint: str) -> None:
-    if name in _WARNED:
-        return
-    _WARNED.add(name)
-    warnings.warn(
-        f"repro.eval.{name}() is deprecated; use the Session API: {hint}",
-        DeprecationWarning, stacklevel=3)
-
-
-def _session(config, machine, *, jobs: int = 1, store=None):
-    from repro.eval.api import Session
-    return Session(machine=machine, config=config, store=store, jobs=jobs)
-
-
-def run_table1(config: SimConfig | None = None, machine=None, *,
-               jobs: int = 1, store=None) -> ExperimentResult:
-    """IPCr (real caches) and IPCp (perfect) per benchmark, single thread.
-
-    .. deprecated:: use ``Session(...).run("table1")``.
-    """
-    _warn_once("run_table1", 'Session(...).run("table1")')
-    return _session(config, machine, jobs=jobs, store=store).run("table1")
-
-
-def run_table2() -> ExperimentResult:
-    """The workload configurations (static).
-
-    .. deprecated:: use ``Session(...).run("table2")``.
-    """
-    _warn_once("run_table2", 'Session(...).run("table2")')
-    return _session(None, None).run("table2")
-
-
-def run_fig4(config: SimConfig | None = None, machine=None, *,
-             jobs: int = 1, store=None) -> ExperimentResult:
-    """Average SMT IPC on 1-, 2- and 4-thread processors.
-
-    .. deprecated:: use ``Session(...).run("fig4")``.
-    """
-    _warn_once("run_fig4", 'Session(...).run("fig4")')
-    return _session(config, machine, jobs=jobs, store=store).run("fig4")
-
-
-def run_fig5(machine=None, max_threads: int = 8) -> ExperimentResult:
-    """Transistors (5a) and gate delays (5b) for SMT / CSMT SL / CSMT PL.
-
-    .. deprecated:: use ``Session(...).run("fig5")``.
-    """
-    _warn_once("run_fig5", 'Session(...).run("fig5")')
-    return _session(None, machine).run("fig5", max_threads=max_threads)
-
-
-def run_fig6(config: SimConfig | None = None, machine=None, *,
-             jobs: int = 1, store=None) -> ExperimentResult:
-    """Per-workload % IPC advantage of 4-thread SMT over 4-thread CSMT.
-
-    .. deprecated:: use ``Session(...).run("fig6")``.
-    """
-    _warn_once("run_fig6", 'Session(...).run("fig6")')
-    return _session(config, machine, jobs=jobs, store=store).run("fig6")
-
-
-def run_fig9(machine=None) -> ExperimentResult:
-    """Transistors + gate delays for all 16 schemes of Figure 9
-    (the fifteen 4-thread schemes plus the 1S reference).
-
-    .. deprecated:: use ``Session(...).run("fig9")``.
-    """
-    _warn_once("run_fig9", 'Session(...).run("fig9")')
-    return _session(None, machine).run("fig9")
-
-
-def run_fig10(config: SimConfig | None = None, machine=None,
-              schemes=None, *, jobs: int = 1, store=None) -> ExperimentResult:
-    """IPC of every scheme on every Table 2 workload.
-
-    Parallel-CSMT schemes are simulated via their serial-cascade
-    equivalents (functionally identical selection); the result reports
-    each distinct semantics once, labelled with all covered names.
-
-    .. deprecated:: use ``Session(...).run("fig10")``.
-    """
-    _warn_once("run_fig10", 'Session(...).run("fig10")')
-    session = _session(config, machine, jobs=jobs, store=store)
-    if schemes is None:
-        return session.run("fig10")
-    return session.run("fig10", schemes=schemes)
-
-
-def run_fig11(config: SimConfig | None = None, machine=None,
-              fig10: ExperimentResult | None = None, *,
-              jobs: int = 1, store=None) -> ExperimentResult:
-    """Average IPC vs transistors for every scheme.
-
-    .. deprecated:: use ``Session(...).run("fig11")``.
-    """
-    _warn_once("run_fig11", 'Session(...).run("fig11")')
-    session = _session(config, machine, jobs=jobs, store=store)
-    if fig10 is not None:
-        session.seed_result(fig10)
-    return session.run("fig11")
-
-
-def run_fig12(config: SimConfig | None = None, machine=None,
-              fig10: ExperimentResult | None = None, *,
-              jobs: int = 1, store=None) -> ExperimentResult:
-    """Average IPC vs gate delays for every scheme.
-
-    .. deprecated:: use ``Session(...).run("fig12")``.
-    """
-    _warn_once("run_fig12", 'Session(...).run("fig12")')
-    session = _session(config, machine, jobs=jobs, store=store)
-    if fig10 is not None:
-        session.seed_result(fig10)
-    return session.run("fig12")
-
-
-def run_experiment(name: str, config: SimConfig | None = None, machine=None,
-                   *, jobs: int = 1, store=None,
-                   fig10: ExperimentResult | None = None
-                   ) -> tuple[ExperimentResult, GridResult | None]:
-    """Run one experiment by id through a throwaway default Session.
-
-    Returns ``(result, grid)`` where ``grid`` reports executed/reused
-    cell counts (``None`` for static experiments, and for fig11/fig12
-    when a precomputed ``fig10`` result is supplied).  Unlike a real
-    session, nothing is cached across calls — each invocation binds a
-    fresh session, so fig11 after fig10 re-simulates the grid unless a
-    ``store`` is given.
-
-    .. deprecated:: use ``Session(...).run(name)`` (the grid is on
-       ``session.last_grid``, and the session's result cache makes
-       derived artifacts free).
-    """
-    _warn_once("run_experiment", 'Session(...).run(name)')
-    session = _session(config, machine, jobs=jobs, store=store)
-    if fig10 is not None and name in ("fig11", "fig12"):
-        session.seed_result(fig10)
-    result = session.run(name)
-    return result, session.last_grid
-
-
-#: experiment id -> runner (kept for discovery + docstrings; every entry
-#: is a deprecation shim over the Session API).
-ALL_EXPERIMENTS = {
-    "table1": run_table1,
-    "table2": run_table2,
-    "fig4": run_fig4,
-    "fig5": run_fig5,
-    "fig6": run_fig6,
-    "fig9": run_fig9,
-    "fig10": run_fig10,
-    "fig11": run_fig11,
-    "fig12": run_fig12,
-}

@@ -17,7 +17,8 @@ from dataclasses import dataclass, field, replace
 from repro.cost import scheme_cost
 from repro.merge import PAPER_SCHEMES, canonical, get_scheme
 
-__all__ = ["DesignPoint", "design_points", "pareto_frontier", "recommend"]
+__all__ = ["DesignPoint", "design_points", "frontier_neighborhood",
+           "pareto_frontier", "recommend"]
 
 
 @dataclass(frozen=True)
@@ -59,12 +60,14 @@ class DesignPoint:
 
 
 def design_points(avg_ipc: dict, m_clusters: int = 4,
-                  schemes=None) -> list[DesignPoint]:
+                  schemes=None, params=None) -> list[DesignPoint]:
     """Join measured average IPCs with modelled hardware costs.
 
     ``avg_ipc`` maps scheme names (or their canonical cascades) to IPC,
-    e.g. ``run_fig10(...).meta['avg_ipc']`` flattened, or any user
-    measurement.
+    e.g. ``Session(...).run("fig10").meta['avg_ipc']`` flattened, or any
+    user measurement.  ``params`` overrides the cost model's
+    :class:`~repro.cost.gates.CostParams` (e.g. the
+    :meth:`~repro.cost.gates.CostParams.fit` calibration).
     """
     flat: dict[str, float] = {}
     for label, ipc in avg_ipc.items():
@@ -76,7 +79,10 @@ def design_points(avg_ipc: dict, m_clusters: int = 4,
         ipc = flat.get(name, flat.get(canonical(name)))
         if ipc is None:
             continue
-        c = scheme_cost(get_scheme(name), m_clusters)
+        if params is None:
+            c = scheme_cost(get_scheme(name), m_clusters)
+        else:
+            c = scheme_cost(get_scheme(name), m_clusters, params)
         out.append(DesignPoint(name, ipc, c.transistors, c.gate_delays))
     return out
 
@@ -131,6 +137,38 @@ def pareto_frontier(points) -> list[DesignPoint]:
         if not any(q.dominates(p) for q in front):
             front.append(p)
     return sorted(front, key=lambda p: (p.transistors, -p.ipc))
+
+
+def frontier_neighborhood(points, eps: float = 0.05) -> list[DesignPoint]:
+    """Points within ``eps`` relative IPC of the Pareto frontier.
+
+    A point survives unless some other point matches or beats both of
+    its cost axes while delivering more than ``(1 + eps)`` times its
+    IPC — i.e. the point is *eps-non-dominated*.  Strictly dominated
+    points whose IPC is within the ``eps`` band stay in, which is the
+    point: guided search promotes this neighborhood between fidelity
+    rungs, and low-fidelity IPC is noisy enough that promoting only the
+    exact frontier would drop designs whose true rank is
+    frontier-worthy.  The result is always a superset of
+    :func:`pareto_frontier` (a frontier member is never eps-dominated).
+
+    Ties are deduplicated exactly as in :func:`pareto_frontier` (the
+    returned points carry ``aliases``); sorted by increasing transistor
+    count.
+    """
+    if eps < 0:
+        raise ValueError(f"eps must be >= 0, got {eps}")
+    deduped = _dedupe_ties(points)
+    out = []
+    for p in deduped:
+        eps_dominated = any(
+            q.transistors <= p.transistors
+            and q.gate_delays <= p.gate_delays
+            and q.ipc > p.ipc * (1 + eps)
+            for q in deduped if q is not p)
+        if not eps_dominated:
+            out.append(p)
+    return sorted(out, key=lambda p: (p.transistors, -p.ipc))
 
 
 def recommend(points, max_transistors: float | None = None,

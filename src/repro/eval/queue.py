@@ -56,7 +56,7 @@ from repro.eval.experiments import (
     default_config,
 )
 from repro.eval.runner import Cell, run_cell_detailed, run_cells_batch
-from repro.eval.store import RunStore, run_fingerprint
+from repro.eval.store import RunStore, config_fingerprint, run_fingerprint
 from repro.eval.sweep import sweep_cells, sweep_threads
 
 __all__ = [
@@ -113,6 +113,16 @@ class CampaignSpec:
         machines: machine-preset tags for matrix campaigns — cells are
             enqueued once per tag and carry it as their identity tag,
             exactly as ``Session.run_matrix`` would produce them.
+        configs: ``(tag, scale)`` fidelity rungs for guided-search
+            campaigns.  A cell whose config tag matches runs under
+            ``config().scaled(rung_scale)`` — derived from the base
+            exactly as :func:`~repro.eval.evaluator.rung_configs`
+            derives the Session registry, because ``SimConfig.scaled``
+            truncates and any other derivation would diverge.
+        kind: ``"campaign"`` (the grid is enqueued up front by
+            ``queue-init``) or ``"search"`` (the grid is *discovered*:
+            a ``repro-eval search`` coordinator enqueues each rung's
+            cells as the schedule unfolds, and workers follow along).
     """
 
     experiment: str
@@ -121,6 +131,8 @@ class CampaignSpec:
     workloads: tuple | None = None
     machine: str = "paper"
     machines: tuple = ()
+    configs: tuple = ()
+    kind: str = "campaign"
 
     def __post_init__(self):
         threads = sweep_threads(self.experiment)
@@ -133,21 +145,64 @@ class CampaignSpec:
         if self.workloads is not None:
             object.__setattr__(self, "workloads", tuple(self.workloads))
         object.__setattr__(self, "machines", tuple(self.machines))
+        object.__setattr__(self, "configs",
+                           tuple((str(tag), float(scale))
+                                 for tag, scale in self.configs))
+        if self.kind not in ("campaign", "search"):
+            raise ValueError(f"unknown campaign kind {self.kind!r}; "
+                             f"choose 'campaign' or 'search'")
+        if self.kind == "search" and threads is None:
+            raise ValueError("search campaigns need a sweep experiment "
+                             "id like 'sweep8'")
+        seen = set()
+        for tag, scale in self.configs:
+            if not tag or any(sep in tag for sep in ":@%"):
+                raise ValueError(
+                    f"bad config tag {tag!r}: tags are non-empty and "
+                    f"must not contain ':', '@' or '%'")
+            if not 0 < scale <= 1.0:
+                raise ValueError(f"config {tag!r}: scale must be in "
+                                 f"(0, 1], got {scale}")
+            if tag in seen:
+                raise ValueError(f"duplicate config tag {tag!r}")
+            seen.add(tag)
         for tag in ("", self.machine, *self.machines):
             if tag:
                 preset_machine(tag)  # unknown presets raise here, early
 
     # -- execution context ------------------------------------------------
     def config(self):
-        """The campaign's :class:`~repro.sim.SimConfig`."""
+        """The campaign's base :class:`~repro.sim.SimConfig`."""
         return default_config(self.scale, engine=self.engine)
+
+    def config_for(self, tag: str = ""):
+        """Resolve a cell's config tag ("" = the campaign base).
+
+        Named tags are the fidelity rungs of a search campaign; the
+        resolved config is ``config().scaled(rung_scale)``.
+        """
+        if not tag:
+            return self.config()
+        for name, scale in self.configs:
+            if name == tag:
+                return self.config().scaled(scale)
+        raise KeyError(
+            f"unknown config tag {tag!r}; this campaign defines "
+            f"{[name for name, _ in self.configs] or '(none)'}")
 
     def machine_for(self, tag: str = ""):
         """Resolve a cell's machine tag ("" = the campaign default)."""
         return preset_machine(tag or self.machine)
 
     def cells(self) -> list[Cell]:
-        """The campaign grid, identical to the Session-built one."""
+        """The campaign grid, identical to the Session-built one.
+
+        Search campaigns return an empty grid: their cells are
+        discovered and enqueued rung by rung by the search coordinator,
+        not known at init time.
+        """
+        if self.kind == "search":
+            return []
         threads = sweep_threads(self.experiment)
         tags = self.machines or ("",)
         cells: list[Cell] = []
@@ -170,12 +225,18 @@ class CampaignSpec:
         """The store fingerprint a Session running this campaign uses.
 
         Matching it exactly is what lets ``repro-eval sweep`` /
-        ``matrix`` ``--store queue:...`` resume a drained queue.
+        ``matrix`` / ``search`` ``--store queue:...`` resume a drained
+        queue.
         """
         fp = run_fingerprint(self.config(), self.machine_for())
         if self.machines:
             fp["machines"] = {tag: preset_machine(tag).describe()
                               for tag in sorted(self.machines)}
+        if self.configs:
+            base = self.config()
+            fp["configs"] = {
+                tag: config_fingerprint(base.scaled(scale))
+                for tag, scale in sorted(self.configs)}
         return fp
 
     # -- persistence ------------------------------------------------------
@@ -184,6 +245,7 @@ class CampaignSpec:
         spec["workloads"] = (list(self.workloads)
                              if self.workloads is not None else None)
         spec["machines"] = list(self.machines)
+        spec["configs"] = [list(pair) for pair in self.configs]
         return spec
 
     @classmethod
@@ -194,7 +256,10 @@ class CampaignSpec:
                               if spec.get("workloads") is not None
                               else None),
                    machine=spec.get("machine", "paper"),
-                   machines=tuple(spec.get("machines", ())))
+                   machines=tuple(spec.get("machines", ())),
+                   configs=tuple(tuple(pair)
+                                 for pair in spec.get("configs", ())),
+                   kind=spec.get("kind", "campaign"))
 
 
 def init_queue(store, spec: CampaignSpec) -> "QueueStatus":
@@ -248,7 +313,7 @@ def run_worker(store, *, worker_id: str | None = None,
                max_cells: int | None = None,
                max_attempts: int = DEFAULT_MAX_ATTEMPTS,
                batch_cells: int | None = None,
-               wait: bool = True, on_claim=None,
+               wait: bool = True, follow: bool = False, on_claim=None,
                progress=None) -> WorkerReport:
     """Drain a queue campaign: claim, execute, write back, heartbeat.
 
@@ -258,6 +323,13 @@ def run_worker(store, *, worker_id: str | None = None,
     waiting is what guarantees the campaign drains) or until
     ``max_cells`` cells were processed.  ``wait=False`` exits as soon
     as nothing is claimable, leaving stragglers to their owners.
+
+    ``follow=True`` is the fleet mode for *search* campaigns, whose
+    cells arrive rung by rung: an empty queue does not mean the
+    campaign is over, so the worker keeps polling through the gaps
+    between rungs and exits only once the search coordinator marks
+    ``search_status: done`` in the store manifest (or the queue drains
+    on a non-search campaign, where there is nothing to follow).
 
     Args:
         store: queue store URL / backend / RunStore.
@@ -293,11 +365,11 @@ def run_worker(store, *, worker_id: str | None = None,
             f"{backend.url!r} has no campaign spec; run "
             f"`repro-eval queue-init` first")
     spec = CampaignSpec.from_dict(spec_dict)
-    config = spec.config()
     if batch_cells is None:
         batch_cells = DEFAULT_BATCH_CELLS if spec.engine == "batch" else 1
     group_size = max(1, batch_cells)
     machines: dict[str, object] = {}
+    configs: dict[str, object] = {}
     report = WorkerReport(worker_id or default_worker_id())
 
     def machine_for(cell: Cell):
@@ -306,6 +378,18 @@ def run_worker(store, *, worker_id: str | None = None,
             machine = machines[cell.machine] = \
                 spec.machine_for(cell.machine)
         return machine
+
+    def config_for(cell: Cell):
+        config = configs.get(cell.config)
+        if config is None:
+            config = configs[cell.config] = spec.config_for(cell.config)
+        return config
+
+    def search_done() -> bool:
+        manifest = backend.load_manifest() or {}
+        status = manifest.get("experiments", {})
+        return any(entry.get("search_status") == "done"
+                   for entry in status.values())
 
     def settle_error(claim: dict, exc: Exception) -> None:
         error = f"{type(exc).__name__}: {exc}"
@@ -334,12 +418,14 @@ def run_worker(store, *, worker_id: str | None = None,
     def run_one(claim: dict) -> None:
         cell = Cell(**claim["cell"])
         try:
-            value, meta = run_cell_detailed(cell, config, machine_for(cell))
+            value, meta = run_cell_detailed(cell, config_for(cell),
+                                            machine_for(cell))
         except Exception as exc:  # noqa: BLE001 - worker must survive
             settle_error(claim, exc)
         else:
             settle_value(claim, value, meta)
 
+    following = follow and spec.kind == "search"
     while True:
         budget = None if max_cells is None else \
             max_cells - (report.executed + report.failed + report.released)
@@ -349,7 +435,13 @@ def run_worker(store, *, worker_id: str | None = None,
                               max_attempts=max_attempts)
         if claim is None:
             counts = backend.queue_counts()
-            if not wait or not (counts["open"] or counts["claimed"]):
+            idle = not (counts["open"] or counts["claimed"])
+            if following:
+                if idle and search_done():
+                    break
+                time.sleep(poll)
+                continue
+            if not wait or idle:
                 break
             time.sleep(poll)
             continue
@@ -370,17 +462,19 @@ def run_worker(store, *, worker_id: str | None = None,
         if len(claims) == 1:
             run_one(claims[0])
         else:
-            # grouped lockstep execution, one group per machine tag;
-            # a group-wide blowup falls back to per-cell execution so
-            # one poison cell cannot take its groupmates down with it
-            by_tag: dict[str, list[dict]] = {}
+            # grouped lockstep execution, one group per (machine,
+            # config) tag pair; a group-wide blowup falls back to
+            # per-cell execution so one poison cell cannot take its
+            # groupmates down with it
+            by_tag: dict[tuple, list[dict]] = {}
             for cl in claims:
-                by_tag.setdefault(cl["cell"].get("machine", ""),
+                by_tag.setdefault((cl["cell"].get("machine", ""),
+                                   cl["cell"].get("config", "")),
                                   []).append(cl)
             for tag, group in sorted(by_tag.items()):
                 cells = [Cell(**cl["cell"]) for cl in group]
                 try:
-                    triples = run_cells_batch(cells, config,
+                    triples = run_cells_batch(cells, config_for(cells[0]),
                                               machine_for(cells[0]))
                 except Exception:  # noqa: BLE001 - isolate the poison cell
                     for cl in group:
@@ -442,8 +536,16 @@ class QueueStatus:
             machines = self.campaign.get("machines")
             if machines:
                 extra += f", machines {','.join(machines)}"
+            configs = self.campaign.get("configs")
+            if configs:
+                extra += (", rungs "
+                          + ",".join(tag for tag, _ in configs) + ",full")
+            kind = self.campaign.get("kind", "campaign")
+            label = self.campaign["experiment"]
+            if kind == "search":
+                label += " [guided search: cells arrive rung by rung]"
             lines.append(
-                f"campaign {self.campaign['experiment']} "
+                f"campaign {label} "
                 f"(scale {self.campaign['scale']:g}, engine "
                 f"{self.campaign['engine']}{extra})")
         done = self.counts["done"]

@@ -38,6 +38,7 @@ __all__ = [
     "frontier_map",
     "machine_axes",
     "rank_stability",
+    "rank_stability_from_ipc",
     "scaling_report",
     "variant_label",
 ]
@@ -134,23 +135,25 @@ def frontier_map(matrix: MatrixResult) -> dict:
     return out
 
 
-def rank_stability(matrix: MatrixResult) -> dict:
+def rank_stability_from_ipc(ipc_by_variant: dict) -> dict:
     """Scheme IPC ranks per variant, and their spread across variants.
 
-    Rank 1 is the highest average IPC on that variant (ties broken by
-    scheme name, deterministically).  ``spread`` = max rank - min rank
-    over the variants a scheme appears on **all** of; ``stable`` lists
-    schemes whose rank never moves, ``volatile`` the movers sorted by
-    descending spread.  A small stable set means the paper's scheme
-    ordering survives machine scaling; a large volatile set means the
-    best scheme genuinely depends on the geometry.
+    ``ipc_by_variant`` maps variant labels to per-scheme IPC dicts.
+    Rank 1 is the highest IPC on that variant (ties broken by scheme
+    name, deterministically).  ``spread`` = max rank - min rank over the
+    variants a scheme appears on **all** of; ``stable`` lists schemes
+    whose rank never moves, ``volatile`` the movers sorted by descending
+    spread.
+
+    This is the shared rank analysis: :func:`rank_stability` feeds it
+    one variant per matrix machine/config, and the guided search
+    (:mod:`repro.eval.search`) feeds it consecutive fidelity rungs to
+    decide which near-frontier candidates are rank-stable enough to
+    promote.
     """
     ranks: dict[str, dict[str, int]] = {}
-    labels = []
-    for (mtag, ctag), result in matrix.results.items():
-        label = variant_label(mtag, ctag)
-        labels.append(label)
-        ipc = _scheme_ipc(result)
+    labels = list(ipc_by_variant)
+    for label, ipc in ipc_by_variant.items():
         ordered = sorted(ipc, key=lambda s: (-ipc[s], s))
         for rank, scheme in enumerate(ordered, 1):
             ranks.setdefault(scheme, {})[label] = rank
@@ -165,6 +168,19 @@ def rank_stability(matrix: MatrixResult) -> dict:
         "volatile": sorted(((s, d) for s, d in spread.items() if d > 0),
                            key=lambda sd: (-sd[1], sd[0])),
     }
+
+
+def rank_stability(matrix: MatrixResult) -> dict:
+    """Rank stability across a matrix's machine/config variants.
+
+    A small stable set means the paper's scheme ordering survives
+    machine scaling; a large volatile set means the best scheme
+    genuinely depends on the geometry.  See
+    :func:`rank_stability_from_ipc` for the report fields.
+    """
+    return rank_stability_from_ipc({
+        variant_label(mtag, ctag): _scheme_ipc(result)
+        for (mtag, ctag), result in matrix.results.items()})
 
 
 def budget_recommendations(matrix: MatrixResult,

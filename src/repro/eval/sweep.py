@@ -13,7 +13,9 @@ published 4-thread schemes.  This module mechanizes the walk over the
    schedule): each :class:`CandidateGroup` simulates once, via the
    member whose AST already is the parc-free normal form, and keeps
    every member as a distinct hardware design point.
-3. :func:`sweep_cells` expands the groups into the
+3. :class:`SweepPlan` packages the deduplicated candidates with a
+   workload grid - pure data, no simulation.  :meth:`SweepPlan.cells`
+   expands (any subset of) the groups into the
    :mod:`~repro.eval.runner` grid over selectable Table 2 workloads -
    every workload keeps its four software threads and the OS model
    timeshares them over the scheme's N contexts, exactly as Figure 4
@@ -21,14 +23,22 @@ published 4-thread schemes.  This module mechanizes the walk over the
    parallel (``jobs``), resumable (``store``) and shardable
    (:func:`~repro.eval.runner.shard_cells` + ``--shard i/N`` +
    :func:`~repro.eval.store.merge_runs`).
-4. :func:`run_sweep` joins measured IPC with
+4. :func:`assemble_sweep` is the pure join: measured IPC x
    :func:`~repro.cost.scheme_cost` into :mod:`~repro.eval.pareto` design
    points, the Pareto frontier, and (under ``--budget-*`` limits) the
-   Section 5.2 recommendation.
+   Section 5.2 recommendation.  It never simulates, so any cell subset
+   already in a store can be joined incrementally.
+5. :func:`run_sweep` composes the three: build the plan, run its cells,
+   assemble the artifact.
+
+The split is what :mod:`~repro.eval.search` builds on: guided search
+evaluates *subsets* of a plan's cells at several fidelities and joins
+whatever is measured so far, without ever re-stating the enumeration or
+the join.
 
 The grammar grows fast - 17 names (12 semantics) at 4 threads, 89 at 6,
-~2600 at 10 - which is what the parallel/cached/resumable grid machinery
-is for.
+610 at 8, ~2600 at 10 - which is what the parallel/cached/resumable grid
+machinery (and the guided search) is for.
 """
 
 from __future__ import annotations
@@ -47,6 +57,8 @@ from repro.workloads import TABLE2, WORKLOAD_ORDER
 
 __all__ = [
     "CandidateGroup",
+    "SweepPlan",
+    "assemble_sweep",
     "candidate_table",
     "enumerate_candidates",
     "enumerate_names",
@@ -187,107 +199,117 @@ def _resolve_workloads(workloads) -> list:
     return wls
 
 
+@dataclass(frozen=True)
+class SweepPlan:
+    """The pure plan layer: what a sweep *would* simulate, as data.
+
+    A plan is the deduplicated candidate groups crossed with a workload
+    grid - no machine, no config, no simulation.  Everything downstream
+    (exhaustive sweeps, guided search, queue campaigns) derives its cell
+    grid from a plan, so "which cells exist" is stated exactly once and
+    any subset can be expanded, evaluated and joined incrementally.
+    """
+
+    n_threads: int
+    workloads: tuple
+    groups: tuple
+
+    @classmethod
+    def build(cls, n_threads: int = 4, workloads=None) -> "SweepPlan":
+        """Enumerate and dedupe the ``n_threads`` design space over the
+        selected Table 2 workloads (default: all nine)."""
+        return cls(n_threads=n_threads,
+                   workloads=tuple(_resolve_workloads(workloads)),
+                   groups=enumerate_candidates(n_threads))
+
+    @property
+    def experiment(self) -> str:
+        """Store/artifact experiment id (:func:`sweep_experiment_id`)."""
+        return sweep_experiment_id(self.n_threads)
+
+    def subset(self, canonicals) -> "SweepPlan":
+        """A plan over only the named candidate groups (by canonical
+        member), preserving enumeration order.  Unknown names raise."""
+        want = set(canonicals)
+        kept = tuple(g for g in self.groups if g.canonical in want)
+        unknown = want - {g.canonical for g in kept}
+        if unknown:
+            raise KeyError(f"not canonical candidates of this plan: "
+                           f"{sorted(unknown)}")
+        return SweepPlan(self.n_threads, self.workloads, kept)
+
+    def cell(self, workload: str, canonical: str, *,
+             machine_tag: str = "", config_tag: str = "") -> Cell:
+        """The identity of one (workload, semantics) measurement."""
+        return Cell(self.experiment, "workload", workload, canonical,
+                    machine=machine_tag, config=config_tag)
+
+    def cells(self, *, machine_tag: str = "",
+              config_tag: str = "") -> list:
+        """The simulation grid: one cell per (workload, semantics).
+
+        Cells carry the canonical member only; the other members of
+        each group inherit its measured IPC at join time.
+        ``machine_tag``/``config_tag`` stamp the cells' identity for
+        multi-machine / multi-scale / multi-fidelity campaigns (see
+        :class:`~repro.eval.runner.Cell`); the defaults keep the
+        historical single-machine keys.
+        """
+        return [self.cell(wl, group.canonical,
+                          machine_tag=machine_tag, config_tag=config_tag)
+                for wl in self.workloads
+                for group in self.groups]
+
+
 def sweep_cells(n_threads: int = 4, workloads=None, *,
                 machine_tag: str = "", config_tag: str = "") -> list:
-    """The sweep's simulation grid: one cell per (workload, semantics).
+    """The sweep's simulation grid (``SweepPlan.build(...).cells(...)``).
 
-    Cells carry the canonical member only; the other members of each
-    group inherit its measured IPC at join time.  Workloads keep all
-    four Table 2 software threads regardless of ``n_threads`` - the OS
-    model timeshares them over the scheme's contexts.
-    ``machine_tag``/``config_tag`` stamp the cells' identity for
-    multi-machine / multi-scale campaigns (see
-    :class:`~repro.eval.runner.Cell`); the defaults keep the historical
-    single-machine keys.
+    Kept as the convenience entry point for callers that don't need to
+    hold the plan - the queue campaign spec, the CLI shard preview.
     """
-    experiment = sweep_experiment_id(n_threads)
-    return [Cell(experiment, "workload", wl, group.canonical,
-                 machine=machine_tag, config=config_tag)
-            for wl in _resolve_workloads(workloads)
-            for group in enumerate_candidates(n_threads)]
+    return SweepPlan.build(n_threads, workloads).cells(
+        machine_tag=machine_tag, config_tag=config_tag)
 
 
+def assemble_sweep(plan: SweepPlan, values, machine=None, *,
+                   machine_tag: str = "", config_tag: str = "",
+                   budget_transistors: float | None = None,
+                   budget_gate_delays: float | None = None,
+                   cost_params=None,
+                   experiment: str | None = None) -> ExperimentResult:
+    """Pure join: measured IPCs x modelled cost -> the sweep artifact.
 
-
-def run_sweep(n_threads: int = 4, workloads=None, config=None, machine=None,
-              *, jobs: int = 1, store=None, shard=None,
-              machine_tag: str = "", config_tag: str = "",
-              budget_transistors: float | None = None,
-              budget_gate_delays: float | None = None
-              ) -> tuple[ExperimentResult, GridResult]:
-    """Sweep the N-thread design space over Table 2 workloads.
-
-    Args:
-        n_threads: port count of every candidate scheme.
-        workloads: Table 2 workload names (default: all nine).
-        config: base :class:`~repro.sim.config.SimConfig`.
-        machine: target machine (default: the paper's).
-        jobs: worker processes for the grid.
-        store: optional :class:`~repro.eval.store.RunStore` for
-            resume/sharding.
-        shard: optional ``(index, count)`` - simulate only that
-            deterministic slice of the grid (1-based).  The result is
-            then a partial cell report, not a frontier; merge the shard
-            run stores with :func:`~repro.eval.store.merge_runs`
-            and re-run without ``shard`` to assemble the frontier.
-        machine_tag / config_tag: identity tags stamped on every cell
-            for multi-machine / multi-scale campaigns (``machine`` must
-            then be the machine the tag names).  Defaults keep the
-            historical single-machine cell keys.
-        budget_transistors / budget_gate_delays: optional hardware
-            budget for the Section 5.2 recommendation.
-
-    Returns:
-        ``(result, grid)``: the artifact (design plane + frontier in
-        ``result.meta``) and the grid's executed/reused counts.
+    ``values`` maps cell keys (:attr:`~repro.eval.runner.Cell.key`) to
+    IPC - a :attr:`~repro.eval.runner.GridResult.values` dict, a store's
+    recorded cells, or any subset covering the plan.  No simulation
+    happens here, so a partially-evaluated plan joins by first taking
+    :meth:`SweepPlan.subset` of the measured groups.  ``cost_params``
+    overrides the cost model constants (e.g.
+    :meth:`~repro.cost.gates.CostParams.fit`); ``experiment`` overrides
+    the artifact id (guided search labels its artifact ``searchN`` while
+    sharing the plan's ``sweepN`` cell namespace).
     """
     machine = machine or paper_machine()
-    config = config or default_config()
-    wls = _resolve_workloads(workloads)
-    groups = enumerate_candidates(n_threads)
-    experiment = sweep_experiment_id(n_threads)
-    cells = sweep_cells(n_threads, wls,
-                        machine_tag=machine_tag, config_tag=config_tag)
-
-    if shard is not None:
-        index, count = shard
-        part = shard_cells(cells, index, count)
-        grid = run_cells(part, config, machine, jobs=jobs, store=store)
-        rows = [(key, round(grid.values[key], 4))
-                for key in sorted(grid.values)]
-        result = ExperimentResult(
-            experiment=f"{experiment}.shard{index}of{count}",
-            title=(f"{n_threads}-thread scheme sweep - shard "
-                   f"{index}/{count} ({len(part)} of {len(cells)} cells)"),
-            columns=["cell", "IPC"],
-            rows=rows,
-            notes=[
-                "partial campaign: merge the shard run directories "
-                "(repro-eval merge DEST SRC...) and re-run the sweep "
-                "with --resume DEST to assemble the frontier",
-            ],
-            meta={"threads": n_threads, "workloads": wls,
-                  "shard": f"{index}/{count}",
-                  "cells_total": len(cells), "cells_in_shard": len(part)},
-        )
-        return result, grid
-
-    grid = run_cells(cells, config, machine, jobs=jobs, store=store)
+    wls = list(plan.workloads)
+    groups = plan.groups
+    cells = plan.cells(machine_tag=machine_tag, config_tag=config_tag)
 
     # join: average IPC per semantics over the selected workloads, then
     # expand to every member name with its own hardware cost.
     avg_ipc = {}
     labels = {}
     for group in groups:
-        vals = [grid[Cell(experiment, "workload", wl, group.canonical,
-                          machine=machine_tag, config=config_tag)]
+        vals = [values[plan.cell(wl, group.canonical,
+                                 machine_tag=machine_tag,
+                                 config_tag=config_tag).key]
                 for wl in wls]
         label = ",".join(group.members)
         labels[group.canonical] = label
         avg_ipc[label] = sum(vals) / len(vals)
     all_members = [m for g in groups for m in g.members]
     points = design_points(avg_ipc, m_clusters=machine.n_clusters,
-                           schemes=all_members)
+                           schemes=all_members, params=cost_params)
     front = pareto_frontier(points)
     frontier_names = {p.scheme for p in front}
     pick = None
@@ -312,6 +334,9 @@ def run_sweep(n_threads: int = 4, workloads=None, config=None, machine=None,
             "lexicographically-first scheme: "
             + "; ".join(f"{rep} ({', '.join(names)})"
                         for rep, names in sorted(folded.items())))
+    if cost_params is not None:
+        notes.append("costs use calibrated CostParams "
+                     "(see CostParams.fit)")
     if budget_transistors is not None or budget_gate_delays is not None:
         budget = ", ".join(
             f"{label} <= {value:g}" for label, value in
@@ -325,7 +350,7 @@ def run_sweep(n_threads: int = 4, workloads=None, config=None, machine=None,
                 f"(IPC {pick.ipc:.3f}, {pick.transistors} transistors, "
                 f"{pick.gate_delays} gate delays)")
     meta = {
-        "threads": n_threads,
+        "threads": plan.n_threads,
         "workloads": wls,
         "machine": machine.axes(),
         "n_schemes": len(all_members),
@@ -338,9 +363,9 @@ def run_sweep(n_threads: int = 4, workloads=None, config=None, machine=None,
         "budget": {"transistors": budget_transistors,
                    "gate_delays": budget_gate_delays},
     }
-    result = ExperimentResult(
-        experiment=experiment,
-        title=(f"{n_threads}-thread merging-scheme design-space sweep "
+    return ExperimentResult(
+        experiment=experiment or plan.experiment,
+        title=(f"{plan.n_threads}-thread merging-scheme design-space sweep "
                f"(IPC vs hardware cost)"),
         columns=["scheme", "avg IPC", "transistors", "gate delays",
                  "frontier"],
@@ -348,6 +373,82 @@ def run_sweep(n_threads: int = 4, workloads=None, config=None, machine=None,
         notes=notes,
         meta=meta,
     )
+
+
+def run_sweep(n_threads: int = 4, workloads=None, config=None, machine=None,
+              *, jobs: int = 1, store=None, shard=None,
+              machine_tag: str = "", config_tag: str = "",
+              budget_transistors: float | None = None,
+              budget_gate_delays: float | None = None,
+              cost_params=None
+              ) -> tuple[ExperimentResult, GridResult]:
+    """Sweep the N-thread design space over Table 2 workloads.
+
+    A thin composition of the layers: :meth:`SweepPlan.build` (what to
+    measure), :func:`~repro.eval.runner.run_cells` (measure it),
+    :func:`assemble_sweep` (join it).
+
+    Args:
+        n_threads: port count of every candidate scheme.
+        workloads: Table 2 workload names (default: all nine).
+        config: base :class:`~repro.sim.config.SimConfig`.
+        machine: target machine (default: the paper's).
+        jobs: worker processes for the grid.
+        store: optional :class:`~repro.eval.store.RunStore` for
+            resume/sharding.
+        shard: optional ``(index, count)`` - simulate only that
+            deterministic slice of the grid (1-based).  The result is
+            then a partial cell report, not a frontier; merge the shard
+            run stores with :func:`~repro.eval.store.merge_runs`
+            and re-run without ``shard`` to assemble the frontier.
+        machine_tag / config_tag: identity tags stamped on every cell
+            for multi-machine / multi-scale campaigns (``machine`` must
+            then be the machine the tag names).  Defaults keep the
+            historical single-machine cell keys.
+        budget_transistors / budget_gate_delays: optional hardware
+            budget for the Section 5.2 recommendation.
+        cost_params: optional :class:`~repro.cost.gates.CostParams`
+            override for the join (``--calibrated`` passes the fitted
+            parameters).
+
+    Returns:
+        ``(result, grid)``: the artifact (design plane + frontier in
+        ``result.meta``) and the grid's executed/reused counts.
+    """
+    machine = machine or paper_machine()
+    config = config or default_config()
+    plan = SweepPlan.build(n_threads, workloads)
+    cells = plan.cells(machine_tag=machine_tag, config_tag=config_tag)
+
+    if shard is not None:
+        index, count = shard
+        part = shard_cells(cells, index, count)
+        grid = run_cells(part, config, machine, jobs=jobs, store=store)
+        rows = [(key, round(grid.values[key], 4))
+                for key in sorted(grid.values)]
+        result = ExperimentResult(
+            experiment=f"{plan.experiment}.shard{index}of{count}",
+            title=(f"{n_threads}-thread scheme sweep - shard "
+                   f"{index}/{count} ({len(part)} of {len(cells)} cells)"),
+            columns=["cell", "IPC"],
+            rows=rows,
+            notes=[
+                "partial campaign: merge the shard run directories "
+                "(repro-eval merge DEST SRC...) and re-run the sweep "
+                "with --resume DEST to assemble the frontier",
+            ],
+            meta={"threads": n_threads, "workloads": list(plan.workloads),
+                  "shard": f"{index}/{count}",
+                  "cells_total": len(cells), "cells_in_shard": len(part)},
+        )
+        return result, grid
+
+    grid = run_cells(cells, config, machine, jobs=jobs, store=store)
+    result = assemble_sweep(plan, grid.values, machine,
+                            machine_tag=machine_tag, config_tag=config_tag,
+                            budget_transistors=budget_transistors,
+                            budget_gate_delays=budget_gate_delays,
+                            cost_params=cost_params)
     return result, grid
 
 

@@ -1,6 +1,10 @@
 """Workload configurations (Table 2) and workload synthesis."""
 
-from repro.workloads.generator import all_class_combos, make_workload
+from repro.workloads.generator import (
+    all_class_combos,
+    make_workload,
+    synthetic_kernel,
+)
 from repro.workloads.table2 import (
     TABLE2,
     WORKLOAD_ORDER,
@@ -13,6 +17,7 @@ __all__ = [
     "WORKLOAD_ORDER",
     "all_class_combos",
     "make_workload",
+    "synthetic_kernel",
     "workload_programs",
     "workload_specs",
 ]

@@ -4,15 +4,24 @@ The paper combines benchmarks by ILP class ("representative
 combinations"); this generator builds arbitrary class-combination
 workloads (e.g. ``"LLMH"``) by sampling benchmarks of each class, for
 sensitivity studies and tests that need workloads the paper didn't list.
+
+:func:`synthetic_kernel` goes one level deeper: instead of sampling
+the Table 1 suite it *authors* a kernel with three continuous knobs —
+``ilp`` (independent dependence chains), ``mem`` (fraction of chain
+operations that are loads) and ``branchiness`` (data-dependent side
+branches) — so sensitivity studies can move one program property at a
+time instead of being limited to the suite's nine fixed points.
 """
 
 from __future__ import annotations
 
 import random
 
-from repro.kernels import by_class, by_name, compile_spec
+from repro.ir import KernelBuilder
+from repro.kernels import KernelSpec, by_class, by_name, compile_spec
+from repro.kernels.util import sum_tree
 
-__all__ = ["make_workload", "all_class_combos"]
+__all__ = ["make_workload", "all_class_combos", "synthetic_kernel"]
 
 
 def make_workload(combo: str, machine, seed: int = 0, options=None,
@@ -49,6 +58,98 @@ def make_workload(combo: str, machine, seed: int = 0, options=None,
             name = pool.pop()
         programs.append(compile_spec(by_name(name), machine, options))
     return programs
+
+
+#: chains at ilp=1.0 (one per paper-machine issue slot x cluster pair).
+_MAX_CHAINS = 8
+#: side branches at branchiness=1.0.
+_MAX_BRANCHES = 6
+_ARITH = ("add", "sub", "shr", "and_", "or_", "mpy")
+_TRIP = 512
+
+
+def synthetic_kernel(ilp: float = 0.5, mem: float = 0.25,
+                     branchiness: float = 0.1, seed: int = 0,
+                     n_ops: int = 32) -> KernelSpec:
+    """Author a kernel with continuous ILP / memory / branch knobs.
+
+    Args:
+        ilp: in (0, 1] — scales the number of *independent* dependence
+            chains the loop body's ``n_ops`` operations are dealt over
+            (1 chain at the bottom, :data:`_MAX_CHAINS` at 1.0).  More
+            chains = shorter chains = more operations schedulable per
+            cycle, so compiled ``static_ipc`` rises with the knob.
+        mem: in [0, 1] — the fraction of chain operations that are
+            loads (address fed by the chain, so a load lengthens no
+            chain and shortens none: the knob moves the memory mix
+            without touching the ILP structure).
+        branchiness: in [0, 1] — scales the number of data-dependent
+            side branches (``br_if``, taken with probability
+            ``branchiness / 2``) from 0 to :data:`_MAX_BRANCHES`.
+        seed: operation-mix sampling seed; same arguments = identical
+            IR, so synthetic cells are store/resume-safe.
+        n_ops: chain operations per loop body.
+
+    Returns a :class:`~repro.kernels.KernelSpec` (paper columns zeroed
+    — there is no published counterpart) whose ``ilp_class`` thirds the
+    knob: L below 1/3, M below 2/3, H above.
+    """
+    if not 0 < ilp <= 1:
+        raise ValueError(f"ilp must be in (0, 1], got {ilp}")
+    for label, v in (("mem", mem), ("branchiness", branchiness)):
+        if not 0 <= v <= 1:
+            raise ValueError(f"{label} must be in [0, 1], got {v}")
+    if n_ops < _MAX_CHAINS:
+        raise ValueError(f"n_ops must be >= {_MAX_CHAINS}, got {n_ops}")
+    name = f"syn-i{ilp:g}-m{mem:g}-b{branchiness:g}-s{seed}"
+    n_chains = max(1, round(ilp * _MAX_CHAINS))
+    n_loads = round(mem * n_ops)
+    n_branches = round(branchiness * _MAX_BRANCHES)
+
+    def build():
+        rng = random.Random(name)
+        b = KernelBuilder(name)
+        b.pattern("data", kind="stream", footprint=256 * 1024, stride=8)
+        b.pattern("work", kind="table", footprint=8 * 1024)
+        b.param("i", "acc")
+        b.live_out("i", "acc")
+
+        b.block("body")
+        chains = [b.ld(None, "i", "data") for _ in range(n_chains)]
+        load_slots = set(rng.sample(range(n_ops), n_loads))
+        for j in range(n_ops):
+            c = j % n_chains
+            if j in load_slots:
+                # chain value feeds the address: the load replaces an
+                # arithmetic link without changing the chain's length
+                chains[c] = b.ld(None, chains[c], "work")
+            else:
+                op = getattr(b, rng.choice(_ARITH))
+                chains[c] = op(None, chains[c], rng.randrange(3, 4096))
+        for k in range(n_branches):
+            cond = b.cmp(None, chains[k % n_chains], rng.randrange(4096))
+            b.br_if(cond, f"side{k}", prob=branchiness / 2)
+        total = sum_tree(b, chains)
+        b.st(total, "i", "work")
+        b.add("i", "i", 8)
+        done = b.cmp(None, "i", _TRIP)
+        b.br_loop(done, "body", trip=_TRIP)
+
+        for k in range(n_branches):
+            b.block(f"side{k}")
+            b.add("acc", "acc", k + 1)
+            b.goto("body")
+        return b.build()
+
+    return KernelSpec(
+        name=name,
+        ilp_class="L" if ilp < 1 / 3 else ("M" if ilp < 2 / 3 else "H"),
+        description=(f"synthetic kernel: ilp={ilp:g} mem={mem:g} "
+                     f"branchiness={branchiness:g} seed={seed}"),
+        paper_ipcr=0.0,
+        paper_ipcp=0.0,
+        build=build,
+    )
 
 
 def all_class_combos(n_threads: int = 4) -> list[str]:

@@ -1,6 +1,4 @@
-"""Session API tests: verbs, caching, multi-machine grids, deprecation."""
-
-import warnings
+"""Session API tests: verbs, caching, multi-machine grids."""
 
 import pytest
 
@@ -11,19 +9,12 @@ from repro.eval import (
     Session,
     StoreMismatchError,
     run_cells,
-    run_experiment,
-    run_fig6,
-    run_fig9,
-    run_fig10,
-    run_table2,
 )
 from repro.eval import experiments
 from repro.eval.runner import GridResult
 from repro.sim import SimConfig
 
 TINY = SimConfig(instr_limit=800, timeslice=400, warmup_instrs=200)
-
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 @pytest.fixture(scope="module")
@@ -44,12 +35,12 @@ class TestSessionVerbs:
         result = Session(machine=machine).run("fig5", max_threads=4)
         assert [row[0] for row in result.rows] == [2, 3, 4]
 
-    def test_sim_experiment_matches_legacy_runner(self, machine):
+    def test_sim_experiment_deterministic(self, machine):
         session = Session(machine=machine, config=TINY)
         new = session.run("fig6")
-        old = run_fig6(TINY, machine)
-        assert new.rows == old.rows
-        assert new.meta == old.meta
+        other = Session(machine=machine, config=TINY).run("fig6")
+        assert new.rows == other.rows
+        assert new.meta == other.meta
         assert session.last_grid.executed == 18
 
     def test_run_all_shares_fig10_and_returns_everything(self, machine,
@@ -165,7 +156,7 @@ class TestMultiMachine:
                           configs={"half": half})
         result = session.run("fig6", config="half")
         assert result.experiment == "fig6%half"
-        direct = run_fig6(half, machine)
+        direct = Session(machine=machine, config=half).run("fig6")
         assert result.rows == direct.rows
 
     def test_mixed_tag_grid_partitions(self, machine):
@@ -244,37 +235,16 @@ class TestGridResultErrors:
             GridResult(experiment="x")["nope"]
 
 
-class TestDeprecationShims:
-    @pytest.mark.filterwarnings("default::DeprecationWarning")
-    def test_each_shim_warns_exactly_once(self, machine):
-        experiments._WARNED.clear()
-        with pytest.warns(DeprecationWarning, match="run_fig9"):
-            first = run_fig9(machine)
-        with pytest.warns(DeprecationWarning, match="run_table2"):
-            run_table2()
-        # second calls: no further warning
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            second = run_fig9(machine)
-            run_table2()
-        assert first.rows == second.rows
+class TestShimRemoval:
+    def test_legacy_run_helpers_are_gone(self):
+        """The PR-4 deprecation shims served their cycle and are out;
+        the Session verbs are the only execution surface."""
+        import repro.eval as eval_pkg
+        for name in ("run_experiment", "run_all", "run_fig10",
+                     "run_table1", "ALL_EXPERIMENTS"):
+            assert not hasattr(eval_pkg, name), name
+            assert not hasattr(experiments, name), name
 
-    @pytest.mark.filterwarnings("default::DeprecationWarning")
-    def test_shim_values_match_session(self, machine):
-        experiments._WARNED.clear()
-        with pytest.warns(DeprecationWarning, match="run_fig10"):
-            old = run_fig10(TINY, machine)
-        new = Session(machine=machine, config=TINY).run("fig10")
-        assert old.rows == new.rows
-        assert old.meta == new.meta
-
-    def test_run_experiment_tuple_contract(self, machine):
-        result, grid = run_experiment("fig6", TINY, machine)
-        assert result.experiment == "fig6"
-        assert grid.executed == 18
-        static, none_grid = run_experiment("fig9", machine=machine)
-        assert none_grid is None
-        fig10 = run_fig10(TINY, machine)
-        derived, shared = run_experiment("fig11", TINY, machine, fig10=fig10)
-        assert shared is None  # precomputed fig10: nothing simulated
-        assert derived.rows == run_experiment("fig11", TINY, machine)[0].rows
+    def test_experiment_defs_carry_descriptions(self):
+        for name, defn in experiments.EXPERIMENT_DEFS.items():
+            assert defn.description, f"{name} has no description"

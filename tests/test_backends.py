@@ -35,8 +35,6 @@ from repro.sim import SimConfig
 
 TINY = SimConfig(instr_limit=800, timeslice=400, warmup_instrs=200)
 
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
-
 #: experiment ids / cell keys as they occur in practice (workload names,
 #: scheme grammar incl. @N qualifiers, shard suffixes).
 _EXPERIMENTS = st.text(

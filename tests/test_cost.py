@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.cost import csmt_parallel, csmt_serial, scheme_cost, smt_serial
+from repro.cost import (
+    PAPER_COST_POINTS,
+    csmt_parallel,
+    csmt_serial,
+    scheme_cost,
+    smt_serial,
+)
 from repro.cost.gates import CostParams, GateLib, clog2, or_tree
 from repro.merge import PAPER_SCHEMES, get_scheme
 
@@ -154,3 +160,51 @@ class TestParams:
     def test_as_row(self):
         name, t, d = _sc("1S").as_row()
         assert name == "1S" and t > 0 and d > 0
+
+
+class TestFit:
+    """``CostParams.fit``: regression over the Figure 5a anchors."""
+
+    def test_pins_fitted_constants(self):
+        """The default fit is deterministic; pin its output so any
+        change to the anchors or the solver is a visible diff."""
+        fitted = CostParams.fit()
+        assert (fitted.smt_count_check,
+                fitted.smt_routing_gen,
+                fitted.smt_width_growth) == (159, 875, 60)
+
+    def test_fit_confirms_stock_reconstruction(self):
+        """Only s = count_check + routing_gen and width_growth are
+        identifiable from Figure 5a; the regressed values must stay
+        within a couple percent of the hand-calibrated constants."""
+        stock, fitted = CostParams(), CostParams.fit()
+        s_stock = stock.smt_count_check + stock.smt_routing_gen
+        s_fit = fitted.smt_count_check + fitted.smt_routing_gen
+        assert abs(s_fit - s_stock) <= 0.02 * s_stock
+        assert fitted.smt_width_growth == stock.smt_width_growth
+
+    def test_fitted_params_reproduce_anchors(self):
+        fitted = CostParams.fit()
+        for n, t in PAPER_COST_POINTS:
+            model = smt_serial(n, params=fitted).transistors
+            assert abs(model - t) <= 0.05 * t, (n, model, t)
+
+    def test_base_carries_unfitted_constants(self):
+        base = CostParams(smt_sel_delay=11, csmt_level_delay=7)
+        fitted = CostParams.fit(base=base)
+        assert fitted.smt_sel_delay == 11
+        assert fitted.csmt_level_delay == 7
+        assert fitted.smt_count_check == 159  # fit still ran
+
+    def test_degenerate_anchor_sets_rejected(self):
+        with pytest.raises(ValueError, match=">= 2 anchor"):
+            CostParams.fit(points=[(4, 13_100)])
+        with pytest.raises(ValueError, match=">= 2"):
+            CostParams.fit(points=[(1, 100), (4, 13_100)])
+
+    def test_single_thread_count_keeps_base_width_growth(self):
+        """All anchors at one n make width_growth unobservable: the
+        fit keeps the base value instead of dividing by zero."""
+        fitted = CostParams.fit(points=[(4, 13_100), (4, 13_300)])
+        assert fitted.smt_width_growth == CostParams().smt_width_growth
+        assert fitted.smt_count_check + fitted.smt_routing_gen > 0

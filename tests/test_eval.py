@@ -4,26 +4,21 @@ import json
 
 import pytest
 
-from repro.eval import (
-    run_fig5,
-    run_fig9,
-    run_fig10,
-    run_fig11,
-    run_fig12,
-    run_table1,
-    run_table2,
-)
+from repro.eval import Session
 from repro.eval.result import ExperimentResult, render_table
 from repro.sim import SimConfig
 
 TINY = SimConfig(instr_limit=1_500, timeslice=600, warmup_instrs=400)
 
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+@pytest.fixture(scope="module")
+def session():
+    return Session(config=TINY)
 
 
 @pytest.fixture(scope="module")
-def fig10():
-    return run_fig10(TINY)
+def fig10(session):
+    return session.run("fig10")
 
 
 class TestResultObject:
@@ -73,27 +68,27 @@ class TestResultObject:
 
 
 class TestStaticExperiments:
-    def test_table2_static(self):
-        r = run_table2()
+    def test_table2_static(self, session):
+        r = session.run("table2")
         assert len(r.rows) == 9
         assert r.rows[0][0] == "LLLL"
 
-    def test_fig5_rows(self):
-        r = run_fig5()
+    def test_fig5_rows(self, session):
+        r = session.run("fig5")
         assert [row[0] for row in r.rows] == list(range(2, 9))
         for row in r.rows:
             assert row[1] < row[3]  # CSMT SL cheaper than SMT
 
-    def test_fig9_covers_16_schemes(self):
-        r = run_fig9()
+    def test_fig9_covers_16_schemes(self, session):
+        r = session.run("fig9")
         assert len(r.rows) == 16
         names = [row[0] for row in r.rows]
         assert "1S" in names and "2SC3" in names
 
 
 class TestSimExperiments:
-    def test_table1_bands(self):
-        r = run_table1(TINY)
+    def test_table1_bands(self, session):
+        r = session.run("table1")
         assert len(r.rows) == 12
         for name, cls, ipcr, ipcp, p_r, p_p in r.rows:
             assert ipcp >= ipcr * 0.95, name
@@ -110,15 +105,15 @@ class TestSimExperiments:
         assert smt4 > one_s
         assert fig10.rows[-1][0] == "3SSS" or avgs["3SSS"] == max(avgs.values())
 
-    def test_fig11_joins_cost_and_perf(self, fig10):
-        r = run_fig11(TINY, fig10=fig10)
+    def test_fig11_joins_cost_and_perf(self, session, fig10):
+        r = session.run("fig11")  # reuses the session's cached fig10
         names = [row[0] for row in r.rows]
         assert "2SC3" in names and "C4" in names
         by_name = {row[0]: row for row in r.rows}
         assert by_name["3SSS"][2] > by_name["C4"][2]  # transistors
 
-    def test_fig12_delay_column(self, fig10):
-        r = run_fig12(TINY, fig10=fig10)
+    def test_fig12_delay_column(self, session, fig10):
+        r = session.run("fig12")
         by_name = {row[0]: row for row in r.rows}
         assert by_name["3SSS"][2] > by_name["C4"][2]  # delays
 

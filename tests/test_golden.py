@@ -14,9 +14,7 @@ import os
 
 import pytest
 
-from repro.eval import Session, default_config, merge_runs, run_experiment
-
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+from repro.eval import Session, default_config, merge_runs
 
 _REGEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "regen.py")
 _spec = importlib.util.spec_from_file_location("golden_regen", _REGEN_PATH)
@@ -50,7 +48,7 @@ class TestCorpusFiles:
 @pytest.mark.parametrize("name", GOLDEN_EXPERIMENTS)
 def test_artifact_matches_golden_bytes(name, engine):
     config = default_config(GOLDEN_SCALE, engine=engine)
-    result, _grid = run_experiment(name, config)
+    result = Session(config=config).run(name)
     assert result.to_json() == _golden_bytes(name), (
         f"{name} ({engine} engine) drifted from tests/golden/{name}.json; "
         f"if the change is intentional, regenerate with "

@@ -9,11 +9,9 @@ from repro.compiler.options import CompilerOptions
 from repro.eval import (
     Cell,
     RunStore,
+    Session,
     StoreMismatchError,
     run_cells,
-    run_experiment,
-    run_fig4,
-    run_fig10,
     run_fingerprint,
 )
 from repro.eval.cli import main
@@ -22,8 +20,6 @@ from repro.kernels.cache import ProgramCache, cache_key
 from repro.sim import SimConfig
 
 TINY = SimConfig(instr_limit=800, timeslice=400, warmup_instrs=200)
-
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 @pytest.fixture(scope="module")
@@ -57,14 +53,16 @@ class TestCell:
 
 class TestParallelEqualsSerial:
     def test_fig4_bitwise_identical(self, machine):
-        serial = run_fig4(TINY, machine)
-        parallel = run_fig4(TINY, machine, jobs=2)
+        serial = Session(machine=machine, config=TINY).run("fig4")
+        parallel = Session(machine=machine, config=TINY,
+                           jobs=2).run("fig4")
         assert serial.rows == parallel.rows
         assert serial.meta == parallel.meta
 
     def test_fig10_bitwise_identical(self, machine):
-        serial = run_fig10(TINY, machine)
-        parallel = run_fig10(TINY, machine, jobs=2)
+        serial = Session(machine=machine, config=TINY).run("fig10")
+        parallel = Session(machine=machine, config=TINY,
+                           jobs=2).run("fig10")
         assert serial.rows == parallel.rows
         assert serial.meta == parallel.meta
 
@@ -114,9 +112,10 @@ class TestResume:
 
     def test_manifest_records_true_executed_counts(self, tmp_path, machine):
         store = RunStore.open_or_create(tmp_path / "run")
-        _result, grid = run_experiment("fig6", TINY, machine, store=store)
+        session = Session(machine=machine, config=TINY, store=store)
+        session.run("fig6")
         recorded = store.manifest()["experiments"]["fig6"]
-        assert grid.executed == 18
+        assert session.last_grid.executed == 18
         assert recorded == {"cells": 18, "executed": 18, "reused": 0}
 
 
@@ -154,7 +153,7 @@ class TestRunStore:
 
     def test_artifact_roundtrip(self, tmp_path, machine):
         store = RunStore.open_or_create(tmp_path / "r")
-        result, _ = run_experiment("fig9", machine=machine)
+        result = Session(machine=machine).run("fig9")
         store.save_artifact(result)
         loaded = store.load_artifact("fig9")
         assert loaded.rows == result.rows
@@ -269,7 +268,7 @@ class TestCli:
 
         from repro.eval import default_config
 
-        serial = run_fig4(default_config(0.04))
+        serial = Session(config=default_config(0.04)).run("fig4")
         assert [list(r) for r in serial.rows] == saved["rows"]
 
     def test_all_simulates_fig10_once(self, monkeypatch, capsys):

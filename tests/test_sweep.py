@@ -33,8 +33,6 @@ from repro.workloads import WORKLOAD_ORDER, workload_programs
 
 TINY = SimConfig(instr_limit=600, timeslice=300, warmup_instrs=150)
 
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
-
 MACHINE = paper_machine()
 
 #: names per thread count the grammar spans (cascades + N=4 trees + CN).

@@ -3,12 +3,13 @@
 import pytest
 
 from repro.arch import paper_machine
-from repro.kernels import by_name
+from repro.kernels import by_name, compile_spec
 from repro.workloads import (
     TABLE2,
     WORKLOAD_ORDER,
     all_class_combos,
     make_workload,
+    synthetic_kernel,
     workload_programs,
 )
 
@@ -72,3 +73,67 @@ class TestGenerator:
         assert "LLLL" in combos and "HHHH" in combos
         for c in TABLE2:
             assert "".join(sorted(c)) in ["".join(sorted(x)) for x in combos]
+
+
+def _opcodes(spec):
+    fn = spec.build()
+    return [op.opcode.name for blk in fn.blocks for op in blk.ops]
+
+
+class TestSyntheticKernel:
+    """The three knobs must be deterministic, monotone and orthogonal."""
+
+    def test_deterministic_ir(self):
+        a = synthetic_kernel(ilp=0.5, mem=0.4, branchiness=0.3, seed=5)
+        b = synthetic_kernel(ilp=0.5, mem=0.4, branchiness=0.3, seed=5)
+        assert a.name == b.name
+        assert _opcodes(a) == _opcodes(b)
+        c = synthetic_kernel(ilp=0.5, mem=0.4, branchiness=0.3, seed=6)
+        assert c.name != a.name  # seed is part of the cell identity
+
+    def test_static_ipc_rises_with_ilp(self):
+        ipcs = [compile_spec(synthetic_kernel(ilp=v), MACHINE).static_ipc()
+                for v in (0.125, 0.5, 1.0)]
+        assert ipcs[0] < ipcs[1] < ipcs[2]
+
+    def test_mem_knob_moves_memory_fraction(self):
+        fracs = []
+        for v in (0.0, 0.3, 0.8):
+            ops = _opcodes(synthetic_kernel(mem=v))
+            fracs.append(sum(1 for o in ops if o in ("ld", "st")) / len(ops))
+        assert fracs[0] < fracs[1] < fracs[2]
+
+    def test_mem_knob_does_not_change_ilp_structure(self):
+        """Loads splice into chains without lengthening them, so the
+        memory knob must leave the schedulable parallelism (and hence
+        ilp_class identity) alone."""
+        lean = compile_spec(synthetic_kernel(ilp=1.0, mem=0.0), MACHINE)
+        rich = compile_spec(synthetic_kernel(ilp=1.0, mem=0.8), MACHINE)
+        assert rich.static_ipc() >= 0.6 * lean.static_ipc()
+
+    def test_branchiness_counts_side_branches(self):
+        def side_branches(spec):
+            fn = spec.build()
+            return sum(1 for blk in fn.blocks for op in blk.ops
+                       if op.behavior is not None
+                       and op.behavior.kind == "bernoulli"
+                       and op.behavior.prob < 1.0)
+
+        assert side_branches(synthetic_kernel(branchiness=0.0)) == 0
+        assert side_branches(synthetic_kernel(branchiness=0.5)) == 3
+        assert side_branches(synthetic_kernel(branchiness=1.0)) == 6
+
+    def test_ilp_class_thirds(self):
+        assert synthetic_kernel(ilp=0.2).ilp_class == "L"
+        assert synthetic_kernel(ilp=0.5).ilp_class == "M"
+        assert synthetic_kernel(ilp=0.9).ilp_class == "H"
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError, match="ilp"):
+            synthetic_kernel(ilp=0.0)
+        with pytest.raises(ValueError, match="mem"):
+            synthetic_kernel(mem=1.5)
+        with pytest.raises(ValueError, match="branchiness"):
+            synthetic_kernel(branchiness=-0.1)
+        with pytest.raises(ValueError, match="n_ops"):
+            synthetic_kernel(n_ops=4)
