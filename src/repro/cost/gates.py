@@ -136,6 +136,12 @@ class CostParams:
         if s <= 0:
             raise ValueError(f"fit produced a non-positive SMT block "
                              f"constant ({s:.1f}); check the anchors")
+        if round(wg) < 1:
+            raise ValueError(
+                f"fit produced a degenerate SMT width-growth term "
+                f"({wg:.1f}, rounds below 1), which would make the "
+                f"calibrated cost model non-monotone in thread count; "
+                f"check the anchors")
         stock = cls()
         ratio = stock.smt_count_check / (stock.smt_count_check
                                          + stock.smt_routing_gen)

@@ -386,10 +386,16 @@ def run_worker(store, *, worker_id: str | None = None,
         return config
 
     def search_done() -> bool:
+        # scoped to *this* campaign's search experiment: a store that
+        # finished some earlier search (search_status "done" under
+        # another id) must not make --follow workers bail out of the
+        # current one at the first inter-rung idle gap
+        from repro.eval.search import search_experiment_id
+
+        experiment = search_experiment_id(sweep_threads(spec.experiment))
         manifest = backend.load_manifest() or {}
-        status = manifest.get("experiments", {})
-        return any(entry.get("search_status") == "done"
-                   for entry in status.values())
+        entry = manifest.get("experiments", {}).get(experiment, {})
+        return entry.get("search_status") == "done"
 
     def settle_error(claim: dict, exc: Exception) -> None:
         error = f"{type(exc).__name__}: {exc}"

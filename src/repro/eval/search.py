@@ -428,6 +428,11 @@ def run_search(session, n_threads: int = 4, workloads=None, *,
                 break
             rep, _ = evaluate(new, low, f"gen{gen}")
             ipc_low.update(rep.ipc)
+            if gen == generations - 1:
+                # the pool must only hold low-rung-measured candidates
+                # (the halving ladder reuses those values as rung 0), so
+                # the last generation evaluates but does not mutate
+                break
             groups = plan.subset(sorted(seen)).groups
             points = _group_points(plan, groups, ipc_low,
                                    machine_obj.n_clusters, cost_params)

@@ -202,6 +202,16 @@ class TestFit:
         with pytest.raises(ValueError, match=">= 2"):
             CostParams.fit(points=[(1, 100), (4, 13_100)])
 
+    def test_degenerate_width_growth_rejected(self):
+        """Anchors implying a flat or shrinking width-growth term would
+        make the calibrated model non-monotone in thread count; the fit
+        refuses instead of shipping it (m=4: s=1000 but wg < 0)."""
+        with pytest.raises(ValueError, match="width-growth"):
+            CostParams.fit(points=[(2, 4_000), (4, 11_000)])
+        # a positive raw fit that *rounds* below 1 is just as degenerate
+        with pytest.raises(ValueError, match="width-growth"):
+            CostParams.fit(points=[(2, 4_000), (4, 12_004)])
+
     def test_single_thread_count_keeps_base_width_growth(self):
         """All anchors at one n make width_growth unobservable: the
         fit keeps the base value instead of dividing by zero."""

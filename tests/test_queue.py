@@ -363,6 +363,35 @@ class TestWorkerLoop:
         assert run_worker(url, max_cells=1).executed == 1
         assert queue_status(url).counts["open"] == 1
 
+    def test_follow_worker_only_exits_on_its_own_search_done(
+            self, tmp_path):
+        """Regression: a stale ``search_status: done`` left by an
+        *earlier* search (search2) must not make a --follow worker of
+        the current campaign (sweep4 -> search4) bail out at an idle
+        gap; only its own experiment's marker ends the follow."""
+        url = _url(tmp_path)
+        spec = CampaignSpec(experiment="sweep4", scale=0.05,
+                            kind="search", workloads=("LLLL",))
+        init_queue(url, spec)
+        backend = QueueBackend(str(tmp_path / "camp.db"))
+        manifest = backend.load_manifest() or {"experiments": {}}
+        manifest.setdefault("experiments", {})["search2"] = {
+            "search_status": "done"}
+        backend.save_manifest(manifest)
+
+        reports = []
+        t = threading.Thread(target=lambda: reports.append(
+            run_worker(url, worker_id="w1", follow=True, poll=0.01)))
+        t.start()
+        t.join(timeout=0.4)
+        assert t.is_alive()  # still following despite the stale marker
+        manifest = backend.load_manifest()
+        manifest["experiments"]["search4"] = {"search_status": "done"}
+        backend.save_manifest(manifest)
+        t.join(timeout=10)
+        assert not t.is_alive()
+        assert reports and reports[0].executed == 0
+
 
 # ----------------------------------------------------------------------
 # drain identity + migration (the acceptance path)

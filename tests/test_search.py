@@ -204,6 +204,22 @@ class TestRunSearch:
         assert any(e["round"].startswith("gen") for e in report.schedule)
         assert result.meta["frontier"]
 
+    def test_evolve_final_generation_pool_is_fully_measured(self):
+        """Regression: at 4 threads the grammar is rich enough that the
+        last generation still finds fresh mutants — those must not join
+        the pool unmeasured (rung 0 reuses the evolve phase's low-rung
+        IPC and used to KeyError on them)."""
+        result, report = run_search(tiny_session(), 4, ["LLLL"],
+                                    budget=0.9, evolve=True,
+                                    population=4, generations=2)
+        gens = [e for e in report.schedule
+                if e["round"].startswith("gen")]
+        rung0 = next(e for e in report.schedule if e["round"] == "rung0")
+        # the reused rung-0 pool is exactly what the generations measured
+        assert rung0["candidates"] == sum(e["candidates"] for e in gens)
+        assert rung0["executed"] == 0
+        assert result.meta["frontier"]
+
     def test_session_search_verb_saves_artifact(self, tmp_path):
         session = tiny_session(store=str(tmp_path / "run"))
         result = session.search(2, ["LLLL"], save=True)
